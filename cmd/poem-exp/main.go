@@ -1,0 +1,111 @@
+// Command poem-exp regenerates the paper's evaluation artifacts: every
+// table and figure, plus the measurable claims behind the architecture
+// figures (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	poem-exp table1
+//	poem-exp table2 [-scale 100]
+//	poem-exp figure10 [-duration 20s] [-scale 20] [-rate 4000000]
+//	poem-exp serialerror
+//	poem-exp staleness
+//	poem-exp clocksync
+//	poem-exp neightable
+//	poem-exp linkcurves
+//	poem-exp protocols
+//	poem-exp capacity
+//	poem-exp scalability
+//	poem-exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline/mobiemu"
+	"repro/internal/experiment"
+)
+
+func main() {
+	fs := flag.NewFlagSet("poem-exp", flag.ExitOnError)
+	var (
+		scale    = fs.Float64("scale", 0, "time compression (0 = experiment default)")
+		duration = fs.Duration("duration", 0, "emulated duration (0 = default)")
+		rate     = fs.Float64("rate", 0, "CBR bits/s for figure10 (0 = 4 Mb/s)")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs.Parse(os.Args[2:])
+	out := os.Stdout
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			experiment.Table1(out)
+		case "table2":
+			_, err := experiment.Table2(out, experiment.Table2Config{Scale: *scale})
+			return err
+		case "figure10":
+			_, err := experiment.Figure10(out, experiment.Figure10Config{
+				Scale: *scale, Duration: *duration, RateBps: *rate, Seed: *seed,
+			})
+			return err
+		case "serialerror":
+			_, err := experiment.SerialError(out, experiment.SerialErrorConfig{})
+			return err
+		case "staleness":
+			experiment.Staleness(out, mobiemu.Config{
+				Stations: 8, Heterogeneity: 2, Seed: *seed,
+			}, nil, *duration)
+		case "clocksync":
+			experiment.ClockSync(out, 10*time.Millisecond)
+		case "neightable":
+			experiment.NeighTable(out, nil, nil, 0)
+		case "linkcurves":
+			return experiment.LinkCurves(out)
+		case "protocols":
+			_, err := experiment.Protocols(out, experiment.ProtocolsConfig{
+				Scale: *scale, Duration: *duration, Seed: *seed,
+			})
+			return err
+		case "capacity":
+			_, err := experiment.Capacity(out, experiment.CapacityConfig{
+				Scale: *scale, Duration: *duration, Seed: *seed,
+			})
+			return err
+		case "scalability":
+			_, err := experiment.Scalability(out, experiment.ScalabilityConfig{})
+			return err
+		default:
+			usage()
+			os.Exit(2)
+		}
+		return nil
+	}
+
+	names := []string{cmd}
+	if cmd == "all" {
+		names = []string{"table1", "table2", "figure10", "serialerror",
+			"staleness", "clocksync", "neightable", "linkcurves", "protocols", "capacity", "scalability"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "poem-exp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: poem-exp <experiment> [flags]
+experiments: table1 table2 figure10 serialerror staleness clocksync neightable linkcurves protocols capacity scalability all`)
+}

@@ -1,0 +1,75 @@
+// Command poemctl is the operator console: it sends live scene commands
+// to a running poemd — the paper's "friendly visual interaction of
+// topology control" without the mouse.
+//
+// One-shot:
+//
+//	poemctl -server 127.0.0.1:7001 add 1 pos 100,100 radio ch=1 range=200
+//	poemctl -server 127.0.0.1:7001 show
+//
+// Interactive (reads commands from stdin):
+//
+//	poemctl -server 127.0.0.1:7001
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7001", "poemd control address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *server)
+	if err != nil {
+		log.Fatalf("poemctl: %v", err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	send := func(cmd string) bool {
+		if _, err := fmt.Fprintln(conn, cmd); err != nil {
+			log.Fatalf("poemctl: %v", err)
+		}
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return false
+			}
+			line = strings.TrimRight(line, "\n")
+			if line == "." {
+				return true
+			}
+			fmt.Println(line)
+		}
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		send(strings.Join(args, " "))
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("poemctl: interactive mode (quit to exit)")
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		cmd := strings.TrimSpace(sc.Text())
+		if cmd == "" {
+			continue
+		}
+		if !send(cmd) {
+			return
+		}
+		if cmd == "quit" {
+			return
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command poemd runs the PoEm emulation server: it accepts emulation
+// clients over TCP, forwards their traffic according to the emulated
+// multi-radio MANET scene, records everything for statistics and
+// replay, and exposes a control port for live scene manipulation
+// (poemctl) — the headless version of the paper's GUI server.
+//
+// Usage:
+//
+//	poemd -listen :7000 -control :7001 -record run.poem \
+//	      -scene scenario.poem -scale 1
+//
+// The optional -scene script sets up (and then drives) the scene; with
+// no script the scene starts empty and poemctl builds it live.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/scene"
+	"repro/internal/script"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		listenAddr  = flag.String("listen", "127.0.0.1:7000", "client listen address")
+		controlAddr = flag.String("control", "127.0.0.1:7001", "control listen address (empty to disable)")
+		recordPath  = flag.String("record", "", "write a recording snapshot here on shutdown")
+		walPath     = flag.String("wal", "", "stream the recording here as it happens (crash-safe)")
+		scenePath   = flag.String("scene", "", "scenario script to load and run")
+		scale       = flag.Float64("scale", 1, "emulation time scale (2 = twice real time)")
+		tick        = flag.Duration("tick", 100*time.Millisecond, "mobility tick (emulated time)")
+		seed        = flag.Int64("seed", 1, "link-model random seed")
+		autoCreate  = flag.Bool("autocreate", false, "auto-create VMNs for unknown client ids")
+	)
+	flag.Parse()
+
+	clk := vclock.NewSystem(*scale)
+	sc := scene.New(radio.NewIndexed(250), clk, *seed)
+	store := record.NewStore()
+	srv, err := core.NewServer(core.ServerConfig{
+		Clock: clk, Scene: sc, Store: store,
+		Seed: *seed, TickStep: *tick, AutoCreateNodes: *autoCreate,
+	})
+	if err != nil {
+		log.Fatalf("poemd: %v", err)
+	}
+
+	var wal *record.LogWriter
+	if *walPath != "" {
+		f, err := os.Create(*walPath)
+		if err != nil {
+			log.Fatalf("poemd: %v", err)
+		}
+		wal, err = record.NewLogWriter(f)
+		if err != nil {
+			log.Fatalf("poemd: %v", err)
+		}
+		if err := store.Attach(wal); err != nil {
+			log.Fatalf("poemd: %v", err)
+		}
+		log.Printf("poemd: streaming recording to %s", *walPath)
+	}
+
+	region := geom.R(0, 0, 1000, 1000)
+	var sp *script.Script
+	if *scenePath != "" {
+		f, err := os.Open(*scenePath)
+		if err != nil {
+			log.Fatalf("poemd: %v", err)
+		}
+		sp, err = script.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("poemd: %v", err)
+		}
+		region = sp.Region
+	}
+
+	lis, err := transport.ListenTCP(*listenAddr)
+	if err != nil {
+		log.Fatalf("poemd: %v", err)
+	}
+	log.Printf("poemd: clients on %s (scale %gx)", lis.Addr(), *scale)
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		srv.Serve(lis)
+	}()
+
+	var ctrl *control.Server
+	if *controlAddr != "" {
+		ctrl = control.NewServer(sc, srv, region)
+		go func() {
+			if err := ctrl.ListenAndServe(*controlAddr); err != nil {
+				log.Printf("poemd: control: %v", err)
+			}
+		}()
+		log.Printf("poemd: control on %s", *controlAddr)
+	}
+
+	scriptDone := make(chan error, 1)
+	stopScript := make(chan struct{})
+	if sp != nil {
+		go func() { scriptDone <- sp.Run(sc, clk, stopScript) }()
+		log.Printf("poemd: running scenario %s (%d steps, ends at %v)",
+			*scenePath, len(sp.Steps), sp.End)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		log.Printf("poemd: shutting down")
+	case err := <-scriptDone:
+		if err != nil {
+			log.Printf("poemd: scenario: %v", err)
+		} else {
+			log.Printf("poemd: scenario complete")
+		}
+	}
+	close(stopScript)
+	lis.Close()
+	srv.Close()
+	if ctrl != nil {
+		ctrl.Close()
+	}
+	<-serveDone
+
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			log.Printf("poemd: wal close: %v", err)
+		}
+	}
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			log.Fatalf("poemd: %v", err)
+		}
+		if err := store.Save(f); err != nil {
+			log.Fatalf("poemd: save: %v", err)
+		}
+		f.Close()
+		fmt.Printf("recording: %d packet records, %d scene records → %s\n",
+			store.PacketCount(), store.SceneCount(), *recordPath)
+	}
+}

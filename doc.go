@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "A Portable
+// Real-time Emulator for Testing Multi-Radio MANETs" (Jiang & Zhang,
+// IPPS/IPDPS Workshops 2006) — the PoEm emulator, every substrate it
+// depends on, and the baselines it compares against.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level bench_test.go regenerates each of the paper's tables
+// and figures as a Go benchmark; cmd/poem-exp does the same as a CLI.
+package repro

@@ -1,0 +1,48 @@
+// Package jemu configures the PoEm server core as a JEmu-style
+// centralized emulator — the baseline of the paper's §2.1 and the
+// "non-real-time" curve of Figure 10.
+//
+// JEmu's architecture routes all traffic through a central server that
+// is also the only place packets get time-stamped. Because the server
+// has one incoming interface, simultaneous sends from several clients
+// are received serially, and the serialization smears their timestamps
+// apart (Figure 2). Statistically this turns into loss-rate and delay
+// curves that lag and distort the truth whenever the server saturates.
+//
+// The preset reuses core.Server with three switches flipped: client
+// stamps are discarded (StampAtServer), ingress is serialized
+// (SerialIngress), and a per-packet processing cost models the server's
+// NIC/CPU bottleneck. The forwarding pipeline, scene machinery and
+// transport are identical — precisely so E4 measures the stamping
+// architecture, not incidental implementation differences.
+package jemu
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// DefaultIngressDelay is the per-packet serial processing cost used by
+// the benchmarks; ~50µs models an early-2000s server NIC+kernel path.
+const DefaultIngressDelay = 50 * time.Microsecond
+
+// Configure flips a PoEm ServerConfig into the JEmu-style baseline.
+func Configure(cfg core.ServerConfig) core.ServerConfig {
+	cfg.StampAtServer = true
+	cfg.SerialIngress = true
+	if cfg.IngressDelay == 0 {
+		cfg.IngressDelay = DefaultIngressDelay
+	}
+	return cfg
+}
+
+// Features is the Table 1 row for JEmu.
+func Features() map[string]bool {
+	return map[string]bool{
+		"real-time scene construction": true,  // centralized server, arbitrary live scenes
+		"real-time traffic recording":  false, // serial server-side stamping
+		"multi-radio environment":      false,
+		"post-emulation replay":        false,
+	}
+}

@@ -1,0 +1,33 @@
+package jemu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestConfigureFlipsBaselineKnobs(t *testing.T) {
+	cfg := Configure(core.ServerConfig{})
+	if !cfg.StampAtServer || !cfg.SerialIngress {
+		t.Error("baseline switches not set")
+	}
+	if cfg.IngressDelay != DefaultIngressDelay {
+		t.Errorf("IngressDelay = %v", cfg.IngressDelay)
+	}
+	// An explicit delay is preserved.
+	cfg = Configure(core.ServerConfig{IngressDelay: time.Millisecond})
+	if cfg.IngressDelay != time.Millisecond {
+		t.Errorf("explicit IngressDelay overridden: %v", cfg.IngressDelay)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := Features()
+	if !f["real-time scene construction"] || f["real-time traffic recording"] {
+		t.Errorf("JEmu feature row wrong: %v", f)
+	}
+	if f["multi-radio environment"] || f["post-emulation replay"] {
+		t.Errorf("JEmu feature row wrong: %v", f)
+	}
+}

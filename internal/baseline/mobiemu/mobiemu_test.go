@@ -1,0 +1,115 @@
+package mobiemu
+
+import (
+	"testing"
+	"time"
+)
+
+func base() Config {
+	return Config{
+		Stations:       8,
+		BroadcastDelay: 200 * time.Microsecond,
+		BaseApplyDelay: time.Millisecond,
+		Heterogeneity:  2,
+		DecisionRate:   200,
+		Seed:           1,
+	}
+}
+
+func TestZeroUpdatesIsClean(t *testing.T) {
+	r := Run(base(), 0, time.Second, 0)
+	if r.Updates != 0 || r.MaxLag != 0 || r.StaleDecisionFrac != 0 {
+		t.Errorf("idle run not clean: %+v", r)
+	}
+}
+
+func TestLowRateModestLag(t *testing.T) {
+	// 10 updates/s against 1–3 ms apply: every station keeps up; lag is
+	// about broadcast + apply delay.
+	r := Run(base(), 10, 10*time.Second, 0)
+	if r.Updates < 50 {
+		t.Fatalf("too few updates: %d", r.Updates)
+	}
+	if r.MeanLag > 10*time.Millisecond {
+		t.Errorf("MeanLag = %v at low rate", r.MeanLag)
+	}
+	if r.Diverged {
+		t.Error("diverged at low rate")
+	}
+	if r.MaxBacklog > 3 {
+		t.Errorf("backlog %d at low rate", r.MaxBacklog)
+	}
+}
+
+// The §2.2 claim: raising the update rate past the slowest station's
+// capacity makes lag, inconsistency and backlog blow up.
+func TestHighRateDiverges(t *testing.T) {
+	cfg := base()
+	lo := Run(cfg, 10, 5*time.Second, 0)
+	// Slowest station serves 1 update / 3 ms ≈ 333/s; drive 600/s.
+	hi := Run(cfg, 600, 5*time.Second, 0)
+	if !hi.Diverged {
+		t.Error("overdriven run did not diverge")
+	}
+	if hi.MeanLag < 10*lo.MeanLag {
+		t.Errorf("lag did not blow up: lo=%v hi=%v", lo.MeanLag, hi.MeanLag)
+	}
+	if hi.MaxBacklog <= lo.MaxBacklog {
+		t.Errorf("backlog did not grow: lo=%d hi=%d", lo.MaxBacklog, hi.MaxBacklog)
+	}
+	if hi.StaleDecisionFrac < lo.StaleDecisionFrac {
+		t.Errorf("stale decisions did not grow: lo=%v hi=%v",
+			lo.StaleDecisionFrac, hi.StaleDecisionFrac)
+	}
+}
+
+// Heterogeneity drives inconsistency: homogeneous stations apply in
+// lockstep, heterogeneous ones split the scene view.
+func TestHeterogeneityDrivesInconsistency(t *testing.T) {
+	cfg := base()
+	cfg.Heterogeneity = 0
+	homo := Run(cfg, 100, 5*time.Second, 0)
+	cfg.Heterogeneity = 3
+	hetero := Run(cfg, 100, 5*time.Second, 0)
+	if homo.MeanInconsistency != 0 {
+		t.Errorf("homogeneous stations inconsistent: %v", homo.MeanInconsistency)
+	}
+	if hetero.MeanInconsistency <= homo.MeanInconsistency {
+		t.Errorf("heterogeneity had no effect: %v vs %v",
+			homo.MeanInconsistency, hetero.MeanInconsistency)
+	}
+}
+
+func TestLagMonotoneInRate(t *testing.T) {
+	cfg := base()
+	prev := time.Duration(0)
+	for _, rate := range []float64{20, 100, 400, 800} {
+		r := Run(cfg, rate, 3*time.Second, 0)
+		if r.MeanLag < prev {
+			t.Errorf("lag not monotone at rate %v: %v < %v", rate, r.MeanLag, prev)
+		}
+		prev = r.MeanLag
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(base(), 150, 3*time.Second, 7)
+	b := Run(base(), 150, 3*time.Second, 7)
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r := Run(Config{}, 50, time.Second, 0)
+	if r.Updates == 0 {
+		t.Error("defaults produced no updates")
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := Features()
+	if f["real-time scene construction"] || !f["real-time traffic recording"] {
+		t.Errorf("MobiEmu feature row wrong: %v", f)
+	}
+}

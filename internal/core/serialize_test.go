@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/linkmodel"
+	"repro/internal/radio"
+	"repro/internal/vclock"
+)
+
+// With SerializeChannels, two back-to-back packets on one channel must
+// queue behind each other's airtime, while the base model ships them in
+// parallel.
+func TestChannelSerializationQueues(t *testing.T) {
+	run := func(serialize bool) time.Duration {
+		r := newRig(t, func(c *ServerConfig) { c.SerializeChannels = serialize })
+		slow := linkmodel.Model{
+			Loss:      linkmodel.NoLoss{},
+			Bandwidth: linkmodel.ConstantBandwidth{Bps: 8e3}, // 1 KB/s: 1000B ≈ 1s airtime
+			Delay:     linkmodel.ConstantDelay{},
+		}
+		r.scene.SetLinkModel(1, slow)
+		r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
+		r.scene.AddNode(2, geom.V(50, 0), oneRadio(1, 200))
+		sk := newSink()
+		c1 := r.client(1, nil)
+		c2 := r.client(2, sk)
+		start := c1.Now()
+		// Two 1000-byte packets sent immediately after each other.
+		for i := 0; i < 2; i++ {
+			if err := c1.SendTo(2, 1, 0, make([]byte, 972)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sk.wait(t, 10*time.Second)
+		sk.wait(t, 10*time.Second)
+		return c2.Now().Sub(start)
+	}
+	parallel := run(false)
+	serialized := run(true)
+	// Airtime ≈ 1 s per packet (emulated). In parallel mode both arrive
+	// after ~1 s; serialized, the second waits for the first's airtime,
+	// so total ≈ 2 s.
+	if parallel > 1700*time.Millisecond {
+		t.Errorf("parallel mode took %v, want ≈1s", parallel)
+	}
+	if serialized < 1800*time.Millisecond {
+		t.Errorf("serialized mode took %v, want ≈2s", serialized)
+	}
+}
+
+// Different channels never contend, even under serialization — the
+// §4.2 isolation property at the medium level.
+func TestChannelSerializationIsolatesChannels(t *testing.T) {
+	r := newRig(t, func(c *ServerConfig) { c.SerializeChannels = true })
+	slow := linkmodel.Model{
+		Loss:      linkmodel.NoLoss{},
+		Bandwidth: linkmodel.ConstantBandwidth{Bps: 8e3},
+		Delay:     linkmodel.ConstantDelay{},
+	}
+	r.scene.SetLinkModel(1, slow)
+	r.scene.SetLinkModel(2, slow)
+	r.scene.AddNode(1, geom.V(0, 0), []radio.Radio{{Channel: 1, Range: 200}})
+	r.scene.AddNode(2, geom.V(50, 0), []radio.Radio{{Channel: 1, Range: 200}})
+	r.scene.AddNode(3, geom.V(0, 50), []radio.Radio{{Channel: 2, Range: 200}})
+	r.scene.AddNode(4, geom.V(50, 50), []radio.Radio{{Channel: 2, Range: 200}})
+	sk2, sk4 := newSink(), newSink()
+	c1 := r.client(1, nil)
+	c3 := r.client(3, nil)
+	c2 := r.client(2, sk2)
+	r.client(4, sk4)
+	start := c1.Now()
+	// One packet per channel, fired together: both should take ~1
+	// airtime, not 2, because the channels are independent media.
+	if err := c1.SendTo(2, 1, 0, make([]byte, 972)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.SendTo(4, 2, 0, make([]byte, 972)); err != nil {
+		t.Fatal(err)
+	}
+	sk2.wait(t, 10*time.Second)
+	sk4.wait(t, 10*time.Second)
+	elapsed := c2.Now().Sub(start)
+	if elapsed > 1700*time.Millisecond {
+		t.Errorf("cross-channel sends serialized: %v", elapsed)
+	}
+}
+
+// vclock import is used by the rig helpers; keep the compiler honest
+// about this file's dependencies if the rig changes.
+var _ = vclock.FromSeconds

@@ -1,0 +1,547 @@
+// Package core is PoEm itself: the central emulation server and the
+// emulation client library (paper §3). The server accepts TCP/IP
+// connections from clients, each mapped to a Virtual MANET Node (VMN),
+// and forwards their packets according to the emulated scene —
+// topology, multi-radio channel assignments, mobility and wireless link
+// models. Real routing-protocol implementations run unmodified inside
+// the clients; the emulator only decides who hears whom, when, and at
+// what quality.
+//
+// The server's forwarding pipeline follows §3.2 step by step:
+//
+//  1. receive a packet from an emulation client
+//  2. a scheduling goroutine searches the channel-ID-indexed neighbor
+//     table for the destinations
+//  3. roll the link model's drop die; for kept packets compute
+//     t_forward = t_receipt + delay + packet_size/bandwidth, where
+//     t_receipt is the *client's* parallel timestamp
+//  4. list the packet into the schedule
+//  5. a scanning goroutine watches the schedule
+//  6. a sending goroutine ships the packet at t_forward
+//  7. recording goroutines log every packet and scene change
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// ServerConfig configures an emulation server.
+type ServerConfig struct {
+	// Clock is the server's emulation clock — the unique reference all
+	// clients synchronize against (§4.1). Required.
+	Clock vclock.WaitClock
+	// Scene is the emulated network state. Required.
+	Scene *scene.Scene
+	// Store receives packet and scene records; nil disables recording.
+	Store *record.Store
+	// Queue is the forwarding schedule; defaults to sched.NewHeap().
+	Queue sched.Queue
+	// Seed feeds the link-model dice.
+	Seed int64
+	// TickStep is the mobility tick cadence; default 100 ms emulated.
+	TickStep time.Duration
+	// AutoCreateNodes makes Hello for an unknown VMN create it at the
+	// origin with no radios (the operator configures it afterwards).
+	// When false such clients are rejected.
+	AutoCreateNodes bool
+	// SerializeChannels models the shared half-duplex medium: at most
+	// one transmission occupies a channel at a time, so concurrent
+	// flows queue behind each other and contend for capacity. The
+	// paper's base model schedules each packet independently (MAC
+	// behaviour is §7 future work); this switch is that extension.
+	SerializeChannels bool
+
+	// --- JEmu-style baseline knobs (internal/baseline/jemu presets) ---
+
+	// StampAtServer discards the clients' parallel timestamps and
+	// stamps packets serially at server receipt — the centralized
+	// baseline whose statistics error Figure 2 explains and Figure 10's
+	// "non-real-time" curve shows.
+	StampAtServer bool
+	// SerialIngress funnels every receive through one mutex, emulating
+	// contention for the single incoming interface of a centralized
+	// server.
+	SerialIngress bool
+	// IngressDelay is per-packet processing time spent while holding
+	// the serial ingress lock (models NIC/CPU cost; wall-clock time).
+	IngressDelay time.Duration
+}
+
+// Server is the PoEm emulation server.
+type Server struct {
+	cfg     ServerConfig
+	scanner *sched.Scanner
+	ticker  *scene.Ticker
+
+	mu       sync.Mutex
+	sessions map[radio.NodeID]*session
+	closed   bool
+
+	ingressMu sync.Mutex // serial-ingress baseline
+	wg        sync.WaitGroup
+
+	chanMu   sync.Mutex // guards chanFree (SerializeChannels extension)
+	chanFree map[radio.ChannelID]vclock.Time
+
+	events     chan sessionEvent // ordered per-client scene notifications
+	eventsStop chan struct{}
+
+	// Counters (atomic; exported through Stats).
+	nReceived  atomic.Uint64
+	nForwarded atomic.Uint64
+	nDropped   atomic.Uint64
+	nNoRoute   atomic.Uint64
+}
+
+// ServerStats is a snapshot of server counters.
+type ServerStats struct {
+	Received  uint64 // packets received from clients
+	Forwarded uint64 // packet deliveries sent to clients
+	Dropped   uint64 // deliveries killed by the link model
+	NoRoute   uint64 // packets with no reachable destination
+	Clients   int    // connected sessions
+	Scheduled int    // schedule depth right now
+}
+
+// session is one connected emulation client.
+type session struct {
+	id   radio.NodeID
+	conn transport.Conn
+	rng  *rand.Rand // scheduling-thread die, per session
+
+	received  atomic.Uint64 // packets this client sent us
+	forwarded atomic.Uint64 // packets we delivered to this client
+}
+
+// NewServer validates the configuration and assembles a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("core: ServerConfig.Clock is required")
+	}
+	if cfg.Scene == nil {
+		return nil, errors.New("core: ServerConfig.Scene is required")
+	}
+	if cfg.Queue == nil {
+		cfg.Queue = sched.NewHeap()
+	}
+	if cfg.TickStep <= 0 {
+		cfg.TickStep = 100 * time.Millisecond
+	}
+	s := &Server{
+		cfg:        cfg,
+		sessions:   make(map[radio.NodeID]*session),
+		chanFree:   make(map[radio.ChannelID]vclock.Time),
+		events:     make(chan sessionEvent, 4096),
+		eventsStop: make(chan struct{}),
+	}
+	s.scanner = sched.NewScanner(cfg.Queue, cfg.Clock, s.deliver)
+	if cfg.Store != nil {
+		cfg.Scene.Subscribe(func(e scene.Event) {
+			cfg.Store.AddScene(record.Scene{
+				At: e.At, Node: e.Node, Op: e.Kind.String(),
+				Detail: e.Detail, X: e.Pos.X, Y: e.Pos.Y,
+			})
+		})
+	}
+	// Push radio changes to the affected client so its protocol learns
+	// about channel switches made on the server GUI. Events flow
+	// through one dispatch goroutine so a client observes its scene
+	// changes in the order they happened.
+	cfg.Scene.Subscribe(func(e scene.Event) {
+		if e.Kind != scene.RadiosChanged {
+			return
+		}
+		s.mu.Lock()
+		sess := s.sessions[e.Node]
+		s.mu.Unlock()
+		if sess == nil {
+			return
+		}
+		ev := sessionEvent{
+			sess:   sess,
+			radios: append([]radio.Radio(nil), e.Radios...),
+		}
+		select {
+		case s.events <- ev:
+		default:
+			// A wedged client must not stall the scene; it will learn
+			// its radios at the next successful notification.
+		}
+	})
+	go s.eventLoop()
+	return s, nil
+}
+
+// sessionEvent is one ordered scene notification for a client.
+type sessionEvent struct {
+	sess   *session
+	radios []radio.Radio
+}
+
+// eventLoop delivers session events in order until Close.
+func (s *Server) eventLoop() {
+	for {
+		select {
+		case ev := <-s.events:
+			ev.sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: ev.radios})
+		case <-s.eventsStop:
+			return
+		}
+	}
+}
+
+// Start launches the scanner and mobility ticker. Serve calls it
+// implicitly; call it directly when driving sessions by hand in tests.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ticker != nil {
+		return
+	}
+	s.scanner.Start()
+	s.ticker = scene.StartTicker(s.cfg.Scene, s.cfg.Clock, s.cfg.TickStep)
+}
+
+// Serve accepts connections until the listener closes. It always
+// returns a non-nil error (ErrClosed-like on orderly shutdown).
+func (s *Server) Serve(l transport.Listener) error {
+	s.Start()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return errors.New("core: server closed")
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the scanner, ticker and every session.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	ticker := s.ticker
+	s.mu.Unlock()
+	close(s.eventsStop)
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.wg.Wait()
+	s.scanner.Stop()
+	if ticker != nil {
+		ticker.Stop()
+	}
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	clients := len(s.sessions)
+	s.mu.Unlock()
+	return ServerStats{
+		Received:  s.nReceived.Load(),
+		Forwarded: s.nForwarded.Load(),
+		Dropped:   s.nDropped.Load(),
+		NoRoute:   s.nNoRoute.Load(),
+		Clients:   clients,
+		Scheduled: s.scanner.Pending(),
+	}
+}
+
+// Now returns the server emulation clock reading.
+func (s *Server) Now() vclock.Time { return s.cfg.Clock.Now() }
+
+// SessionStat is one connected client's traffic counters.
+type SessionStat struct {
+	ID        radio.NodeID
+	Received  uint64 // packets the client sent to the server
+	Forwarded uint64 // packets the server delivered to the client
+}
+
+// SessionStats snapshots per-client counters, sorted by VMN id.
+func (s *Server) SessionStats() []SessionStat {
+	s.mu.Lock()
+	out := make([]SessionStat, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, SessionStat{
+			ID:        sess.id,
+			Received:  sess.received.Load(),
+			Forwarded: sess.forwarded.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// handle runs one client session from Hello to disconnect.
+func (s *Server) handle(conn transport.Conn) {
+	defer conn.Close()
+	sess, err := s.register(conn)
+	if err != nil {
+		conn.Send(&wire.Bye{Reason: err.Error()})
+		return
+	}
+	defer func() {
+		s.mu.Lock()
+		if s.sessions[sess.id] == sess {
+			delete(s.sessions, sess.id)
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return // EOF or broken pipe: the client is gone
+		}
+		switch msg := m.(type) {
+		case *wire.SyncReq:
+			// Figure 5 steps 2–3: stamp receipt, reply with send time.
+			ts2 := s.cfg.Clock.Now()
+			conn.Send(&wire.SyncReply{TC1: msg.TC1, TS2: ts2, TS3: s.cfg.Clock.Now()})
+		case *wire.Data:
+			s.ingest(sess, msg.Pkt)
+		case *wire.Bye:
+			return
+		default:
+			// Unknown-but-decodable messages are ignored; forward
+			// compatibility for newer clients.
+		}
+	}
+}
+
+// register performs the Hello/HelloAck handshake and binds the session
+// to a VMN.
+func (s *Server) register(conn transport.Conn) (*session, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("core: handshake: %w", err)
+	}
+	hello, ok := m.(*wire.Hello)
+	if !ok {
+		return nil, fmt.Errorf("core: expected Hello, got %v", m.Type())
+	}
+	if hello.Ver != wire.Version {
+		return nil, fmt.Errorf("core: protocol version %d unsupported", hello.Ver)
+	}
+	id := hello.ProposedID
+	if id == radio.Broadcast {
+		return nil, errors.New("core: client must propose a concrete VMN id")
+	}
+	if !s.cfg.Scene.HasNode(id) {
+		if !s.cfg.AutoCreateNodes {
+			return nil, fmt.Errorf("core: unknown VMN %v", id)
+		}
+		if err := s.cfg.Scene.AddNode(id, geomOrigin, nil); err != nil {
+			return nil, err
+		}
+	}
+	sess := &session{
+		id:   id,
+		conn: conn,
+		rng:  rand.New(rand.NewSource(s.cfg.Seed ^ int64(id)<<17 ^ 0x9e3779b9)),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("core: server closed")
+	}
+	if _, dup := s.sessions[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: VMN %v already connected", id)
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	if err := conn.Send(&wire.HelloAck{Assigned: id, ServerNow: s.cfg.Clock.Now()}); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	// Tell the client its current radio set.
+	if n, ok := s.cfg.Scene.Node(id); ok && len(n.Radios) > 0 {
+		conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: n.Radios})
+	}
+	return sess, nil
+}
+
+// ingest is §3.2 steps 1–4 for one received packet.
+func (s *Server) ingest(sess *session, pkt wire.Packet) {
+	if s.cfg.SerialIngress {
+		// The centralized baseline: every packet crosses one interface
+		// and is processed serially before the next can be stamped.
+		s.ingressMu.Lock()
+		if s.cfg.IngressDelay > 0 {
+			time.Sleep(s.cfg.IngressDelay)
+		}
+		if s.cfg.StampAtServer {
+			pkt.Stamp = s.cfg.Clock.Now()
+		}
+		s.ingressMu.Unlock()
+	} else if s.cfg.StampAtServer {
+		pkt.Stamp = s.cfg.Clock.Now()
+	}
+	now := s.cfg.Clock.Now()
+	if pkt.Src != sess.id {
+		pkt.Src = sess.id // a VMN cannot spoof another's traffic
+	}
+	s.nReceived.Add(1)
+	sess.received.Add(1)
+	if s.cfg.Store != nil {
+		s.cfg.Store.AddPacket(record.Packet{
+			Kind: record.PacketIn, At: now, Stamp: pkt.Stamp,
+			Src: pkt.Src, Dst: pkt.Dst, Channel: pkt.Channel,
+			Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+		})
+	}
+	// Step 2: the channel-ID-indexed neighbor table gives the
+	// destinations.
+	nbrs := s.cfg.Scene.Neighbors(pkt.Src, pkt.Channel)
+	targets := nbrs[:0:0]
+	for _, nb := range nbrs {
+		if pkt.Dst == radio.Broadcast || pkt.Dst == nb.ID {
+			targets = append(targets, nb)
+		}
+	}
+	if len(targets) == 0 {
+		s.nNoRoute.Add(1)
+		if s.cfg.Store != nil {
+			s.cfg.Store.AddPacket(record.Packet{
+				Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
+				Src: pkt.Src, Dst: pkt.Dst, Relay: pkt.Dst, Channel: pkt.Channel,
+				Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+			})
+		}
+		return
+	}
+	model := s.cfg.Scene.ModelFor(pkt.Channel)
+	// Step 3: drop decisions and forward-time computation. t_receipt is
+	// the client's parallel stamp (real-time recording), unless the
+	// baseline overrode it above.
+	type keptTarget struct {
+		to    radio.NodeID
+		delay time.Duration
+		tx    time.Duration
+	}
+	kept := make([]keptTarget, 0, len(targets))
+	var maxTx time.Duration
+	for _, nb := range targets {
+		dec := model.Evaluate(nb.Dist, pkt.Size(), sess.rng)
+		if dec.Drop {
+			s.nDropped.Add(1)
+			if s.cfg.Store != nil {
+				s.cfg.Store.AddPacket(record.Packet{
+					Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
+					Src: pkt.Src, Dst: pkt.Dst, Relay: nb.ID, Channel: pkt.Channel,
+					Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+				})
+			}
+			continue
+		}
+		kept = append(kept, keptTarget{to: nb.ID, delay: dec.Delay, tx: dec.TxTime})
+		if dec.TxTime > maxTx {
+			maxTx = dec.TxTime
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
+	if s.cfg.SerializeChannels {
+		// §7 MAC extension: one transmission at a time per channel. The
+		// broadcast occupies the medium once, sized for its slowest
+		// receiver; everyone hears it when the airtime ends.
+		s.chanMu.Lock()
+		txStart := pkt.Stamp
+		if free := s.chanFree[pkt.Channel]; free > txStart {
+			txStart = free
+		}
+		txEnd := txStart.Add(maxTx)
+		s.chanFree[pkt.Channel] = txEnd
+		s.chanMu.Unlock()
+		for _, k := range kept {
+			due := txEnd.Add(k.delay)
+			if due < now {
+				due = now
+			}
+			s.scanner.Push(sched.Item{Due: due, To: k.to, Pkt: pkt})
+		}
+		return
+	}
+	for _, k := range kept {
+		// The paper's base formula: t_forward = t_receipt + delay +
+		// size/bandwidth, per destination, independently.
+		due := pkt.Stamp.Add(k.delay + k.tx)
+		if due < now {
+			due = now // cannot ship into the past
+		}
+		// Step 4: into the schedule.
+		s.scanner.Push(sched.Item{Due: due, To: k.to, Pkt: pkt})
+	}
+}
+
+// deliver is §3.2 step 6: a sending goroutine ships the packet to its
+// client at the scheduled time. It runs on the scanner goroutine, so
+// the actual socket write is handed off.
+func (s *Server) deliver(it sched.Item) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	sess := s.sessions[it.To]
+	if sess == nil {
+		s.mu.Unlock()
+		return // the client left between scheduling and departure
+	}
+	// wg.Add must not race Close's wg.Wait; both are ordered by s.mu
+	// and the closed flag.
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		if err := sess.conn.Send(&wire.Data{Pkt: it.Pkt}); err != nil {
+			return
+		}
+		s.nForwarded.Add(1)
+		sess.forwarded.Add(1)
+		if s.cfg.Store != nil {
+			s.cfg.Store.AddPacket(record.Packet{
+				Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: it.Pkt.Stamp,
+				Src: it.Pkt.Src, Dst: it.Pkt.Dst, Relay: it.To, Channel: it.Pkt.Channel,
+				Flow: it.Pkt.Flow, Seq: it.Pkt.Seq, Size: uint32(it.Pkt.Size()),
+			})
+		}
+	}()
+}

@@ -1,0 +1,261 @@
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles the cmd/ executables once per test binary.
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "poem-bins")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, name := range []string{"poemd", "poemctl", "poem-client", "poem-replay", "poem-exp"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "repro/cmd/"+name)
+			cmd.Dir = repoRoot(t)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("build %s: %v\n%s", name, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := wd; ; dir = filepath.Dir(dir) {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		if dir == filepath.Dir(dir) {
+			t.Fatal("go.mod not found above working directory")
+		}
+	}
+}
+
+// freePort asks the kernel for an unused TCP port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+// TestBinariesEndToEnd runs the shipped executables the way the README
+// shows: poemd up, scene built via poemctl, two poem-client instances
+// exchanging a routed message, recording replayed with poem-replay.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bins := binaries(t)
+	clientAddr := freePort(t)
+	controlAddr := freePort(t)
+	walPath := filepath.Join(t.TempDir(), "run.poem")
+
+	daemon := exec.Command(filepath.Join(bins, "poemd"),
+		"-listen", clientAddr, "-control", controlAddr,
+		"-wal", walPath, "-scale", "4")
+	var dlog bytes.Buffer
+	daemon.Stdout = &dlog
+	daemon.Stderr = &dlog
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { daemon.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			daemon.Process.Kill()
+			<-done
+		}
+		if t.Failed() {
+			t.Logf("poemd log:\n%s", dlog.String())
+		}
+	}()
+
+	ctl := func(args ...string) string {
+		out, err := exec.Command(filepath.Join(bins, "poemctl"),
+			append([]string{"-server", controlAddr}, args...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("poemctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+	// Wait for the control port to come up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if conn, err := net.Dial("tcp", controlAddr); err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poemd control never came up:\n%s", dlog.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if out := ctl("add", "1", "pos", "100,100", "radio", "ch=1", "range=200"); !strings.Contains(out, "ok") {
+		t.Fatalf("add 1: %q", out)
+	}
+	if out := ctl("add", "2", "pos", "220,100", "radio", "ch=1", "range=200"); !strings.Contains(out, "ok") {
+		t.Fatalf("add 2: %q", out)
+	}
+	if out := ctl("nodes"); !strings.Contains(out, "VMN1") || !strings.Contains(out, "VMN2") {
+		t.Fatalf("nodes: %q", out)
+	}
+
+	// Two protocol clients; VMN1 sends to VMN2 once routes converge. A
+	// goroutine pumps each client's stdout into a channel so polling
+	// never blocks on a quiet pipe.
+	type client struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		lines chan string
+		errs  *bytes.Buffer
+	}
+	startClient := func(id string) *client {
+		c := exec.Command(filepath.Join(bins, "poem-client"),
+			"-server", clientAddr, "-id", id, "-proto", "hybrid", "-beacon", "100ms")
+		stdin, err := c.StdinPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdout, err := c.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errlog bytes.Buffer
+		c.Stderr = &errlog
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		lines := make(chan string, 1024)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				select {
+				case lines <- sc.Text():
+				default:
+				}
+			}
+			close(lines)
+		}()
+		return &client{cmd: c, stdin: stdin, lines: lines, errs: &errlog}
+	}
+	// sawLine polls: send cmd, then watch the output stream for want.
+	sawLine := func(c *client, cmd, want string, timeout time.Duration) bool {
+		end := time.Now().Add(timeout)
+		for time.Now().Before(end) {
+			fmt.Fprintln(c.stdin, cmd)
+			drain := time.After(200 * time.Millisecond)
+			for {
+				select {
+				case line, ok := <-c.lines:
+					if !ok {
+						return false
+					}
+					if strings.Contains(line, want) {
+						return true
+					}
+					continue
+				case <-drain:
+				}
+				break
+			}
+		}
+		return false
+	}
+	c2 := startClient("2")
+	defer func() { c2.stdin.Close(); c2.cmd.Wait() }()
+	c1 := startClient("1")
+	defer func() { c1.stdin.Close(); c1.cmd.Wait() }()
+
+	if !sawLine(c1, "table", "2 -> 2", 15*time.Second) {
+		t.Fatalf("VMN1 never learned VMN2\nclient1 stderr:\n%s\nclient2 stderr:\n%s",
+			c1.errs.String(), c2.errs.String())
+	}
+	fmt.Fprintln(c1.stdin, "send 2 hello from binary test")
+	if !sawLine(c2, "deliveries", "hello from binary test", 15*time.Second) {
+		t.Fatalf("message never delivered\nclient2 stderr:\n%s", c2.errs.String())
+	}
+	in1, in2 := c1.stdin, c2.stdin
+
+	// Quit the clients, stop the daemon, replay the WAL.
+	fmt.Fprintln(in1, "quit")
+	fmt.Fprintln(in2, "quit")
+	c1.cmd.Wait()
+	c2.cmd.Wait()
+	daemon.Process.Signal(os.Interrupt)
+	daemon.Wait()
+
+	out, err := exec.Command(filepath.Join(bins, "poem-replay"),
+		"-in", walPath, "-step", "2s", "-w", "40", "-h", "8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("poem-replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "activity:") || !strings.Contains(string(out), "nodes=") {
+		t.Errorf("replay output:\n%s", out)
+	}
+	// The energy report runs off the same recording.
+	out, err = exec.Command(filepath.Join(bins, "poem-replay"),
+		"-in", walPath, "-energy").CombinedOutput()
+	if err != nil {
+		t.Fatalf("poem-replay -energy: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "total:") {
+		t.Errorf("energy output:\n%s", out)
+	}
+}
+
+// TestPoemExpBinary smoke-runs the experiment CLI's cheap experiments.
+func TestPoemExpBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bins := binaries(t)
+	for _, exp := range []string{"table1", "clocksync", "linkcurves", "neightable"} {
+		out, err := exec.Command(filepath.Join(bins, "poem-exp"), exp).CombinedOutput()
+		if err != nil {
+			t.Fatalf("poem-exp %s: %v\n%s", exp, err, out)
+		}
+		if len(out) == 0 {
+			t.Errorf("poem-exp %s produced nothing", exp)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package energy implements the power-consumption model the paper's §7
+// lists as future work. Consumption is derived from the emulation
+// recording after (or during) a run: every transmission and reception a
+// VMN performed is priced by a radio energy profile, plus an idle
+// baseline over the node's lifetime — the standard first-order model
+// (Feeney-style) used in MANET energy studies.
+//
+//	E_tx(p)  = TxFixed + TxPerByte · size(p)
+//	E_rx(p)  = RxFixed + RxPerByte · size(p)
+//	E_idle   = IdlePower · lifetime
+//
+// A record.PacketIn is a transmission by its Src; a record.PacketOut is
+// a reception by its Relay; a record.PacketDrop consumed transmit
+// energy (the sender radiated regardless) but no receive energy.
+package energy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/vclock"
+)
+
+// Params is a radio energy profile. Units are joules (and watts for
+// idle). The defaults approximate an 802.11b card of the paper's era
+// (≈1.9 W tx, 1.4 W rx at 11 Mb/s, 0.8 W idle).
+type Params struct {
+	TxFixed   float64 // J per transmitted packet
+	TxPerByte float64 // J per transmitted byte
+	RxFixed   float64 // J per received packet
+	RxPerByte float64 // J per received byte
+	IdlePower float64 // W while alive
+}
+
+// Default80211b returns the built-in profile.
+func Default80211b() Params {
+	const bytePerSec = 11e6 / 8
+	return Params{
+		TxFixed:   200e-6,
+		TxPerByte: 1.9 / bytePerSec,
+		RxFixed:   100e-6,
+		RxPerByte: 1.4 / bytePerSec,
+		IdlePower: 0.8,
+	}
+}
+
+// Consumption is one node's energy ledger.
+type Consumption struct {
+	Node     radio.NodeID
+	TxJ      float64
+	RxJ      float64
+	IdleJ    float64
+	Packets  int // transmissions + receptions
+	Lifetime time.Duration
+}
+
+// TotalJ returns the node's total consumption.
+func (c Consumption) TotalJ() float64 { return c.TxJ + c.RxJ + c.IdleJ }
+
+// Report is the per-node breakdown of a run.
+type Report struct {
+	Nodes []Consumption
+}
+
+// Total sums consumption across all nodes.
+func (r Report) Total() float64 {
+	t := 0.0
+	for _, c := range r.Nodes {
+		t += c.TotalJ()
+	}
+	return t
+}
+
+// ByNode returns the entry for id.
+func (r Report) ByNode(id radio.NodeID) (Consumption, bool) {
+	for _, c := range r.Nodes {
+		if c.Node == id {
+			return c, true
+		}
+	}
+	return Consumption{}, false
+}
+
+// Analyze prices a recording against a profile. Node lifetimes come
+// from the scene's add/remove records; nodes never removed live until
+// the recording's end.
+func Analyze(store *record.Store, p Params) Report {
+	from, to := store.Span()
+	type life struct {
+		born, died vclock.Time
+		hasBorn    bool
+		hasDied    bool
+	}
+	lives := make(map[radio.NodeID]*life)
+	for _, e := range store.Scenes(from, to) {
+		l := lives[e.Node]
+		if l == nil {
+			l = &life{}
+			lives[e.Node] = l
+		}
+		switch e.Op {
+		case "add":
+			if !l.hasBorn {
+				l.born, l.hasBorn = e.At, true
+			}
+		case "remove":
+			l.died, l.hasDied = e.At, true
+		}
+	}
+	acc := make(map[radio.NodeID]*Consumption)
+	get := func(id radio.NodeID) *Consumption {
+		c := acc[id]
+		if c == nil {
+			c = &Consumption{Node: id}
+			acc[id] = c
+		}
+		return c
+	}
+	store.ForEachPacket(func(pk record.Packet) {
+		size := float64(pk.Size)
+		switch pk.Kind {
+		case record.PacketIn:
+			c := get(pk.Src)
+			c.TxJ += p.TxFixed + p.TxPerByte*size
+			c.Packets++
+		case record.PacketOut:
+			c := get(pk.Relay)
+			c.RxJ += p.RxFixed + p.RxPerByte*size
+			c.Packets++
+		case record.PacketDrop:
+			// The In record already charged the transmission; a drop
+			// costs no receive energy.
+		}
+	})
+	// Idle energy over each node's lifetime.
+	for id, l := range lives {
+		c := get(id)
+		start := from
+		if l.hasBorn {
+			start = l.born
+		}
+		end := to
+		if l.hasDied {
+			end = l.died
+		}
+		if end > start {
+			c.Lifetime = end.Sub(start)
+			c.IdleJ = p.IdlePower * c.Lifetime.Seconds()
+		}
+	}
+	rep := Report{Nodes: make([]Consumption, 0, len(acc))}
+	for _, c := range acc {
+		rep.Nodes = append(rep.Nodes, *c)
+	}
+	sort.Slice(rep.Nodes, func(i, j int) bool { return rep.Nodes[i].Node < rep.Nodes[j].Node })
+	return rep
+}
+
+// Render prints the report as a table.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %8s %12s\n",
+		"node", "tx (J)", "rx (J)", "idle (J)", "total (J)", "packets", "lifetime")
+	for _, c := range r.Nodes {
+		fmt.Fprintf(w, "%-8s %10.4f %10.4f %10.4f %10.4f %8d %12v\n",
+			c.Node, c.TxJ, c.RxJ, c.IdleJ, c.TotalJ(), c.Packets, c.Lifetime.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "total: %.4f J\n", r.Total())
+}

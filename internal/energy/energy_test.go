@@ -1,0 +1,148 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/vclock"
+)
+
+func flatParams() Params {
+	return Params{
+		TxFixed: 1, TxPerByte: 0.01,
+		RxFixed: 0.5, RxPerByte: 0.005,
+		IdlePower: 2,
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAnalyzeChargesTxAndRx(t *testing.T) {
+	st := record.NewStore()
+	st.AddScene(record.Scene{At: 0, Node: 1, Op: "add"})
+	st.AddScene(record.Scene{At: 0, Node: 2, Op: "add"})
+	// One 100-byte packet 1 → 2.
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: vclock.FromSeconds(1), Src: 1, Dst: 2, Size: 100})
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: vclock.FromSeconds(1), Src: 1, Dst: 2, Relay: 2, Size: 100})
+	rep := Analyze(st, flatParams())
+	c1, ok1 := rep.ByNode(1)
+	c2, ok2 := rep.ByNode(2)
+	if !ok1 || !ok2 {
+		t.Fatalf("nodes missing: %+v", rep)
+	}
+	if !almost(c1.TxJ, 1+0.01*100) || c1.RxJ != 0 {
+		t.Errorf("node 1: %+v", c1)
+	}
+	if !almost(c2.RxJ, 0.5+0.005*100) || c2.TxJ != 0 {
+		t.Errorf("node 2: %+v", c2)
+	}
+	if c1.Packets != 1 || c2.Packets != 1 {
+		t.Errorf("packet counts: %d %d", c1.Packets, c2.Packets)
+	}
+}
+
+func TestAnalyzeDropStillCostsSender(t *testing.T) {
+	st := record.NewStore()
+	st.AddScene(record.Scene{At: 0, Node: 1, Op: "add"})
+	// A dropped packet: the In record charges the sender; the Drop
+	// record charges nobody extra.
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: 1, Src: 1, Dst: 2, Size: 50})
+	st.AddPacket(record.Packet{Kind: record.PacketDrop, At: 1, Src: 1, Dst: 2, Relay: 2, Size: 50})
+	rep := Analyze(st, flatParams())
+	c1, _ := rep.ByNode(1)
+	if !almost(c1.TxJ, 1+0.01*50) {
+		t.Errorf("sender tx: %v", c1.TxJ)
+	}
+	if _, ok := rep.ByNode(2); ok {
+		if c2, _ := rep.ByNode(2); c2.RxJ != 0 {
+			t.Errorf("dropped packet charged receiver: %+v", c2)
+		}
+	}
+}
+
+func TestAnalyzeIdleOverLifetime(t *testing.T) {
+	st := record.NewStore()
+	st.AddScene(record.Scene{At: vclock.FromSeconds(0), Node: 1, Op: "add"})
+	st.AddScene(record.Scene{At: vclock.FromSeconds(10), Node: 1, Op: "remove"})
+	st.AddScene(record.Scene{At: vclock.FromSeconds(0), Node: 2, Op: "add"})
+	st.AddScene(record.Scene{At: vclock.FromSeconds(20), Node: 2, Op: "move"}) // extends the span
+	rep := Analyze(st, flatParams())
+	c1, _ := rep.ByNode(1)
+	c2, _ := rep.ByNode(2)
+	if !almost(c1.IdleJ, 2*10) {
+		t.Errorf("node 1 idle: %v (lifetime %v)", c1.IdleJ, c1.Lifetime)
+	}
+	// Node 2 lives to the end of the recording (20 s).
+	if !almost(c2.IdleJ, 2*20) {
+		t.Errorf("node 2 idle: %v (lifetime %v)", c2.IdleJ, c2.Lifetime)
+	}
+}
+
+func TestTotalsAndRender(t *testing.T) {
+	st := record.NewStore()
+	st.AddScene(record.Scene{At: 0, Node: 1, Op: "add"})
+	st.AddScene(record.Scene{At: vclock.FromSeconds(5), Node: 1, Op: "remove"})
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: 1, Src: 1, Dst: 9, Size: 10})
+	rep := Analyze(st, flatParams())
+	want := (1 + 0.01*10) + 2*5
+	if !almost(rep.Total(), want) {
+		t.Errorf("Total = %v, want %v", rep.Total(), want)
+	}
+	var b strings.Builder
+	rep.Render(&b)
+	if !strings.Contains(b.String(), "VMN1") || !strings.Contains(b.String(), "total:") {
+		t.Errorf("render:\n%s", b.String())
+	}
+}
+
+func TestDefaultProfileSane(t *testing.T) {
+	p := Default80211b()
+	// 1000 bytes at 11 Mb/s ≈ 0.727 ms of airtime → ≈1.38 mJ tx power
+	// component plus the fixed cost.
+	txJ := p.TxFixed + p.TxPerByte*1000
+	if txJ < 1e-3 || txJ > 3e-3 {
+		t.Errorf("1000B tx energy %v J implausible", txJ)
+	}
+	if p.IdlePower <= 0 {
+		t.Error("idle power must be positive")
+	}
+}
+
+func TestRelayPaysBothWays(t *testing.T) {
+	// A relay both receives and retransmits: its ledger must show both.
+	st := record.NewStore()
+	st.AddScene(record.Scene{At: 0, Node: 2, Op: "add"})
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: 1, Src: 1, Dst: 2, Size: 100})
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: 2, Src: 1, Dst: 2, Relay: 2, Size: 100})
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: 3, Src: 2, Dst: 3, Size: 100})
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: 4, Src: 2, Dst: 3, Relay: 3, Size: 100})
+	rep := Analyze(st, flatParams())
+	c2, _ := rep.ByNode(2)
+	if c2.TxJ == 0 || c2.RxJ == 0 {
+		t.Errorf("relay ledger: %+v", c2)
+	}
+	if c2.Packets != 2 {
+		t.Errorf("relay packets = %d", c2.Packets)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	rep := Analyze(record.NewStore(), flatParams())
+	if len(rep.Nodes) != 0 || rep.Total() != 0 {
+		t.Errorf("empty: %+v", rep)
+	}
+}
+
+func TestLifetimeField(t *testing.T) {
+	st := record.NewStore()
+	st.AddScene(record.Scene{At: vclock.FromSeconds(2), Node: 1, Op: "add"})
+	st.AddScene(record.Scene{At: vclock.FromSeconds(7), Node: 1, Op: "remove"})
+	rep := Analyze(st, flatParams())
+	c, _ := rep.ByNode(1)
+	if c.Lifetime != 5*time.Second {
+		t.Errorf("lifetime = %v", c.Lifetime)
+	}
+}

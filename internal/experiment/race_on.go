@@ -1,0 +1,9 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports that the race detector is active; wall-clock-
+// sensitive experiment tests reduce their time compression (or skip)
+// because instrumented code runs roughly 10× slower and compressed-time
+// emulations would starve.
+const raceEnabled = true

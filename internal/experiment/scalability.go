@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// ScalabilityConfig tunes the E15 experiment behind the paper's
+// "scalable in the number of emulated nodes" feature claim: how does
+// the central server's forwarding latency behave as clients multiply?
+type ScalabilityConfig struct {
+	ClientCounts []int // sweep
+	PerClient    int   // packets each client sends
+	PayloadSize  int
+}
+
+func (c ScalabilityConfig) withDefaults() ScalabilityConfig {
+	if len(c.ClientCounts) == 0 {
+		c.ClientCounts = []int{4, 8, 16, 32, 64}
+	}
+	if c.PerClient <= 0 {
+		c.PerClient = 50
+	}
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 256
+	}
+	return c
+}
+
+// ScalabilityPoint is one sweep point.
+type ScalabilityPoint struct {
+	Clients   int
+	Packets   int
+	Elapsed   time.Duration // wall time for the whole exchange
+	PerPacket time.Duration // wall time per delivered packet
+	MeanDelay time.Duration // emulation-clock delivery latency (p50 path)
+	P99Delay  time.Duration
+}
+
+// ScalabilityResult is the sweep.
+type ScalabilityResult struct {
+	Points []ScalabilityPoint
+}
+
+// Scalability drives N clients pairwise (i → i+1 ring) through one
+// server over the in-process transport and measures aggregate wall
+// throughput plus per-packet emulation latency.
+func Scalability(w io.Writer, cfg ScalabilityConfig) (ScalabilityResult, error) {
+	cfg = cfg.withDefaults()
+	var res ScalabilityResult
+	for _, n := range cfg.ClientCounts {
+		pt, err := scalabilityOnce(n, cfg)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Scalability: ring traffic, %d packets per client, %dB payloads\n",
+			cfg.PerClient, cfg.PayloadSize)
+		fmt.Fprintf(w, "%8s %9s %12s %12s %12s %12s\n",
+			"clients", "packets", "wall", "per packet", "mean delay", "p99 delay")
+		for _, p := range res.Points {
+			fmt.Fprintf(w, "%8d %9d %12v %12v %12v %12v\n",
+				p.Clients, p.Packets, p.Elapsed.Round(time.Millisecond),
+				p.PerPacket.Round(time.Microsecond),
+				p.MeanDelay.Round(time.Microsecond), p.P99Delay.Round(time.Microsecond))
+		}
+	}
+	return res, nil
+}
+
+func scalabilityOnce(n int, cfg ScalabilityConfig) (ScalabilityPoint, error) {
+	clk := vclock.NewSystem(1) // real time: we measure wall latency
+	sc := scene.New(radio.NewIndexed(2000), clk, 1)
+	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc})
+	if err != nil {
+		return ScalabilityPoint{}, err
+	}
+	lis := transport.NewInprocListener()
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(lis) }()
+	defer func() { lis.Close(); srv.Close(); <-serveDone }()
+
+	// A tight cluster: everyone in range of everyone on channel 1.
+	for i := 0; i < n; i++ {
+		if err := sc.AddNode(radio.NodeID(i+1),
+			geom.V(float64(i%8)*10, float64(i/8)*10),
+			[]radio.Radio{{Channel: 1, Range: 1000}}); err != nil {
+			return ScalabilityPoint{}, err
+		}
+	}
+	type arrival struct {
+		stamp vclock.Time
+		at    vclock.Time
+	}
+	arrivals := make(chan arrival, n*cfg.PerClient)
+	clients := make([]*core.Client, n)
+	for i := 0; i < n; i++ {
+		c, err := core.Dial(core.ClientConfig{
+			ID: radio.NodeID(i + 1), Dial: lis.Dialer(), LocalClock: clk,
+			OnPacket: func(p wire.Packet) {
+				arrivals <- arrival{stamp: p.Stamp, at: clk.Now()}
+			},
+		})
+		if err != nil {
+			return ScalabilityPoint{}, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	payload := make([]byte, cfg.PayloadSize)
+	want := n * cfg.PerClient
+	start := time.Now()
+	// Each client streams to its ring successor concurrently.
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			dst := radio.NodeID((i+1)%n + 1)
+			for k := 0; k < cfg.PerClient; k++ {
+				if err := clients[i].SendTo(dst, 1, uint16(i+1), payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			return ScalabilityPoint{}, err
+		}
+	}
+	var dist stats.DelayDist
+	deadline := time.After(30 * time.Second)
+	for got := 0; got < want; got++ {
+		select {
+		case a := <-arrivals:
+			dist.Observe(a.at.Sub(a.stamp))
+		case <-deadline:
+			return ScalabilityPoint{}, fmt.Errorf("scalability: only %d/%d delivered", got, want)
+		}
+	}
+	elapsed := time.Since(start)
+	return ScalabilityPoint{
+		Clients:   n,
+		Packets:   want,
+		Elapsed:   elapsed,
+		PerPacket: elapsed / time.Duration(want),
+		MeanDelay: dist.Mean(),
+		P99Delay:  dist.Quantile(0.99),
+	}, nil
+}

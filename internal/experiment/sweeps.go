@@ -1,0 +1,221 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline/mobiemu"
+	"repro/internal/geom"
+	"repro/internal/linkmodel"
+	"repro/internal/radio"
+	"repro/internal/vclock"
+)
+
+// ---------------------------------------------------------------------------
+// E6 — Figure 5: clock-sync error vs delay asymmetry.
+
+// ClockSyncPoint is one asymmetry sweep point.
+type ClockSyncPoint struct {
+	Asymmetry float64 // back/(fwd+back): 0.5 = symmetric
+	RTT       time.Duration
+	Error     time.Duration // measured |estimate − truth|
+	Predicted time.Duration // |(fwd − back)/2|
+}
+
+// ClockSyncResult is the E6 sweep.
+type ClockSyncResult struct {
+	Points []ClockSyncPoint
+}
+
+// ClockSync sweeps transport-delay asymmetry and reports the Figure 5
+// scheme's estimation error against its closed form |(df − db)/2|.
+func ClockSync(w io.Writer, rtt time.Duration) ClockSyncResult {
+	if rtt <= 0 {
+		rtt = 10 * time.Millisecond
+	}
+	var res ClockSyncResult
+	trueOff := 5 * time.Second
+	for _, backFrac := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0} {
+		back := time.Duration(float64(rtt) * backFrac)
+		fwd := rtt - back
+		base := vclock.NewManual(0)
+		server := vclock.Offset{Base: base, Shift: trueOff}
+		ex := vclock.ExchangerFunc(func(tc1 vclock.Time) (vclock.Time, vclock.Time, error) {
+			base.Advance(fwd)
+			ts2 := server.Now()
+			ts3 := server.Now()
+			base.Advance(back)
+			return ts2, ts3, nil
+		})
+		off, _, err := vclock.Synchronize(base, ex, 1)
+		if err != nil {
+			continue
+		}
+		e := off - trueOff
+		if e < 0 {
+			e = -e
+		}
+		pred := (fwd - back) / 2
+		if pred < 0 {
+			pred = -pred
+		}
+		res.Points = append(res.Points, ClockSyncPoint{
+			Asymmetry: backFrac, RTT: rtt, Error: e, Predicted: pred,
+		})
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Figure 5: clock-sync error vs delay asymmetry (RTT %v)\n", rtt)
+		fmt.Fprintf(w, "%10s  %12s  %12s\n", "back frac", "error", "predicted")
+		for _, p := range res.Points {
+			fmt.Fprintf(w, "%10.2f  %12v  %12v\n", p.Asymmetry, p.Error, p.Predicted)
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// E7 — Figure 6 / §4.2: neighbor-table update cost, indexed vs unified.
+
+// NeighPoint is one sweep point of the E7 experiment.
+type NeighPoint struct {
+	Nodes, Channels, Moves   int
+	IndexedCost, UnifiedCost uint64 // entry writes/examinations per scheme
+	Ratio                    float64
+}
+
+// NeighResult is the E7 sweep.
+type NeighResult struct {
+	Points []NeighPoint
+}
+
+// NeighTable sweeps network size and channel count, moving nodes of one
+// channel only, and compares update costs of the two table schemes.
+func NeighTable(w io.Writer, nodeCounts []int, channelCounts []int, moves int) NeighResult {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{16, 64, 256}
+	}
+	if len(channelCounts) == 0 {
+		channelCounts = []int{1, 4, 8}
+	}
+	if moves <= 0 {
+		moves = 200
+	}
+	var res NeighResult
+	for _, n := range nodeCounts {
+		for _, chs := range channelCounts {
+			pt := neighOnce(n, chs, moves)
+			res.Points = append(res.Points, pt)
+		}
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Figure 6 / §4.2: neighbor-table update cost (%d moves on one channel)\n", moves)
+		fmt.Fprintf(w, "%7s %9s %14s %14s %8s\n", "nodes", "channels", "indexed cost", "unified cost", "ratio")
+		for _, p := range res.Points {
+			fmt.Fprintf(w, "%7d %9d %14d %14d %8.1f\n",
+				p.Nodes, p.Channels, p.IndexedCost, p.UnifiedCost, p.Ratio)
+		}
+	}
+	return res
+}
+
+func neighOnce(n, channels, moves int) NeighPoint {
+	rng := rand.New(rand.NewSource(int64(n*1000 + channels)))
+	idx := radio.NewIndexed(200)
+	uni := radio.NewUnified()
+	side := 1000.0
+	for i := 0; i < n; i++ {
+		node := radio.Node{
+			ID:     radio.NodeID(i),
+			Pos:    geom.V(rng.Float64()*side, rng.Float64()*side),
+			Radios: []radio.Radio{{Channel: radio.ChannelID(1 + i%channels), Range: 150}},
+		}
+		n2 := node
+		n2.Radios = append([]radio.Radio(nil), node.Radios...)
+		idx.AddNode(&node)
+		uni.AddNode(&n2)
+	}
+	i0, u0 := idx.UpdateCost(), uni.UpdateCost()
+	// Churn only channel-1 nodes: the indexed scheme touches one table,
+	// the unified scheme sweeps everything.
+	ch1 := idx.NodeSet(1)
+	for m := 0; m < moves; m++ {
+		id := ch1[rng.Intn(len(ch1))]
+		p := geom.V(rng.Float64()*side, rng.Float64()*side)
+		idx.Move(id, p)
+		uni.Move(id, p)
+	}
+	pt := NeighPoint{
+		Nodes: n, Channels: channels, Moves: moves,
+		IndexedCost: idx.UpdateCost() - i0,
+		UnifiedCost: uni.UpdateCost() - u0,
+	}
+	if pt.IndexedCost > 0 {
+		pt.Ratio = float64(pt.UnifiedCost) / float64(pt.IndexedCost)
+	}
+	return pt
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Figure 3: distributed scene staleness.
+
+// StalenessResult is the E5 sweep output.
+type StalenessResult struct {
+	Rates   []float64
+	Results []mobiemu.Result
+}
+
+// Staleness sweeps the scene-update rate against a MobiEmu-style
+// distributed emulator and reports lag, inconsistency, backlog and the
+// fraction of forwarding decisions made on an expired scene.
+func Staleness(w io.Writer, cfg mobiemu.Config, rates []float64, duration time.Duration) StalenessResult {
+	if len(rates) == 0 {
+		rates = []float64{10, 50, 100, 200, 400, 800}
+	}
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+	var res StalenessResult
+	for _, r := range rates {
+		res.Rates = append(res.Rates, r)
+		res.Results = append(res.Results, mobiemu.Run(cfg, r, duration, 0))
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Figure 3 claim: distributed scene staleness vs update rate (%d stations, heterogeneity %.1f)\n",
+			cfg.Stations, cfg.Heterogeneity)
+		fmt.Fprintf(w, "%8s %12s %14s %10s %10s %9s\n",
+			"rate/s", "mean lag", "inconsistency", "backlog", "stale%", "diverged")
+		for i, r := range res.Results {
+			fmt.Fprintf(w, "%8.0f %12v %14v %10d %9.1f%% %9v\n",
+				res.Rates[i], r.MeanLag.Round(time.Microsecond),
+				r.MeanInconsistency.Round(time.Microsecond),
+				r.MaxBacklog, 100*r.StaleDecisionFrac, r.Diverged)
+		}
+		fmt.Fprintln(w, "(PoEm's centralized scene keeps every value in this table at zero.)")
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// E11 — §4.3.2 link-model curves.
+
+// LinkCurves prints P(r) and B(r) for the Table 3 models.
+func LinkCurves(w io.Writer) error {
+	loss, err := linkmodel.NewDistanceLoss(0.1, 0.9, 50, 200)
+	if err != nil {
+		return err
+	}
+	bw, err := linkmodel.NewGaussianBandwidth(11e6, 1e6, 200)
+	if err != nil {
+		return err
+	}
+	if w != nil {
+		fmt.Fprintln(w, "§4.3.2 link-model curves (P0=0.1 P1=0.9 D0=50 R=200; M=11Mb/s m=1Mb/s)")
+		fmt.Fprintf(w, "%8s  %10s  %14s\n", "r", "P_loss(r)", "B(r) Mb/s")
+		for r := 0.0; r <= 250; r += 25 {
+			fmt.Fprintf(w, "%8.0f  %10.3f  %14.2f\n", r, loss.LossProb(r), bw.BitsPerSecond(r)/1e6)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/routing"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// Table2Step is one row of the proof-of-concept test: the operation
+// performed and VMN1's routing table afterwards.
+type Table2Step struct {
+	Operation string
+	Entries   []routing.Entry
+}
+
+// Table2Result is the reproduced Table 2.
+type Table2Result struct {
+	Steps []Table2Step
+}
+
+// Table2Config tunes the proof-of-concept run.
+type Table2Config struct {
+	// Scale compresses emulated time (default 100×).
+	Scale float64
+	// Beacon is the hybrid protocol's beacon period in emulation time.
+	Beacon time.Duration
+	// SettleBeacons is how many beacon periods to wait after each scene
+	// operation before inspecting the table.
+	SettleBeacons int
+}
+
+func (c Table2Config) withDefaults() Table2Config {
+	if c.Scale <= 0 {
+		c.Scale = 100
+	}
+	if c.Beacon <= 0 {
+		c.Beacon = 500 * time.Millisecond
+	}
+	if c.SettleBeacons <= 0 {
+		c.SettleBeacons = 8
+	}
+	return c
+}
+
+// Table2 reproduces the paper's proof-of-concept test (§6.1, Table 2):
+// construct the Figure 8 scene with the hybrid protocol on every VMN,
+// then inspect VMN1's routing table in real time across the three live
+// scene operations.
+func Table2(w io.Writer, cfg Table2Config) (Table2Result, error) {
+	cfg = cfg.withDefaults()
+	clk := vclock.NewSystem(cfg.Scale)
+	sc := scene.New(radio.NewIndexed(250), clk, 1)
+	store := record.NewStore()
+	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc, Store: store, Seed: 2})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	lis := transport.NewInprocListener()
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(lis) }()
+	defer func() { lis.Close(); srv.Close(); <-serveDone }()
+
+	// The Figure 8 scene: VMN1 neighbors VMN2 and VMN3 directly; VMN4
+	// hangs off VMN2 and VMN5 off VMN3/VMN4. All on channel 1, range
+	// 200; VMN3 sits ~198 units from VMN1 so a range shrink to 120
+	// excludes exactly it (the paper's step 2).
+	pos := map[radio.NodeID]geom.Vec2{
+		1: geom.V(100, 100),
+		2: geom.V(220, 100), // 120 from VMN1
+		3: geom.V(240, 240), // ~198 from VMN1
+		4: geom.V(380, 100), // via VMN2
+		5: geom.V(380, 300), // via VMN3 or VMN4
+	}
+	for id := radio.NodeID(1); id <= 5; id++ {
+		if err := sc.AddNode(id, pos[id], []radio.Radio{{Channel: 1, Range: 200}}); err != nil {
+			return Table2Result{}, err
+		}
+	}
+
+	nodes := make(map[radio.NodeID]*Node)
+	for id := radio.NodeID(1); id <= 5; id++ {
+		p := routing.NewHybrid(routing.Config{HorizonHops: 4, EntryTTLTicks: 3})
+		n, err := StartNode(id, lis.Dialer(), clk, p, clk, cfg.Beacon)
+		if err != nil {
+			return Table2Result{}, fmt.Errorf("node %v: %w", id, err)
+		}
+		defer n.Stop()
+		nodes[id] = n
+	}
+	vmn1 := nodes[1].Proto
+
+	// settle waits for the table to stabilize after an operation.
+	settle := func() {
+		wall := time.Duration(float64(cfg.Beacon) / cfg.Scale)
+		time.Sleep(time.Duration(cfg.SettleBeacons) * wall * 2)
+	}
+	var res Table2Result
+	snap := func(op string) {
+		res.Steps = append(res.Steps, Table2Step{Operation: op, Entries: vmn1.Table()})
+	}
+
+	// Step 1: construct the network scene.
+	waitUntil(10*time.Second, 2*time.Millisecond, func() bool {
+		return len(vmn1.Table()) >= 4
+	})
+	snap("Step1. Construct the network scene (Figure 8)")
+
+	// Step 2: shrink VMN1's radio range to exclude VMN3.
+	sc.SetRange(1, 1, 120)
+	settle()
+	snap("Step2. Shrink the radio range of VMN1 to exclude VMN3")
+
+	// Step 3: set different channels for the radios on VMN1 and VMN2.
+	sc.SetRadios(1, []radio.Radio{{Channel: 2, Range: 200}})
+	settle()
+	snap("Step3. Set different channels for the radios on VMN1 and VMN2")
+
+	if w != nil {
+		fmt.Fprintln(w, "Table 2. Test Results (reproduced)")
+		for _, s := range res.Steps {
+			fmt.Fprintf(w, "\n%s\n%s", s.Operation, renderTable(s.Entries))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,172 @@
+// Package geom provides the 2-D geometry primitives used throughout the
+// emulator: positions of virtual MANET nodes, distances for radio-range
+// decisions, and velocity vectors for mobility models.
+//
+// The paper's scene is a flat 2-D plane measured in abstract "units"
+// (Table 3 uses unit distances and unit/s speeds); geom keeps that
+// convention and stays unit-agnostic.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a point or vector in the 2-D emulation plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec2.
+func V(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Len returns the Euclidean length |v|.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// LenSq returns |v|² without the square root; prefer it in hot loops
+// that only compare magnitudes.
+func (v Vec2) LenSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and w. This is D(A,B)
+// in the paper's neighborhood model (§4.2).
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Len() }
+
+// DistSq returns the squared distance between v and w.
+func (v Vec2) DistSq(w Vec2) float64 { return v.Sub(w).LenSq() }
+
+// Norm returns the unit vector pointing in v's direction, or the zero
+// vector if v is zero.
+func (v Vec2) Norm() Vec2 {
+	l := v.Len()
+	if l == 0 {
+		return Vec2{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Heading returns a unit vector at the given angle, measured in degrees
+// counter-clockwise from the +X axis. The paper's mobility 4-tuple
+// expresses direction this way (§4.3.1: direction ∈ [0°,360°]).
+func Heading(degrees float64) Vec2 {
+	rad := degrees * math.Pi / 180
+	return Vec2{math.Cos(rad), math.Sin(rad)}
+}
+
+// Angle returns v's direction in degrees in [0,360).
+func (v Vec2) Angle() float64 {
+	deg := math.Atan2(v.Y, v.X) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.2f,%.2f)", v.X, v.Y) }
+
+// Rect is an axis-aligned rectangle, used to bound the emulation region
+// so mobility models can reflect or wrap at the edges.
+type Rect struct {
+	Min, Max Vec2
+}
+
+// R constructs a Rect from its corner coordinates, normalizing so that
+// Min ≤ Max component-wise.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Min: Vec2{x0, y0}, Max: Vec2{x1, y1}}
+}
+
+// W returns the rectangle's width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle's height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Vec2) Vec2 {
+	return Vec2{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// Reflect folds p back into r as if the edges were mirrors, and flips
+// the corresponding components of dir. It handles displacements larger
+// than the rectangle by iterating. Reflect is how bounded mobility
+// models keep nodes inside the emulation region.
+func (r Rect) Reflect(p, dir Vec2) (Vec2, Vec2) {
+	if r.W() <= 0 || r.H() <= 0 {
+		return r.Clamp(p), dir
+	}
+	for i := 0; i < 64; i++ {
+		moved := false
+		if p.X < r.Min.X {
+			p.X = 2*r.Min.X - p.X
+			dir.X = -dir.X
+			moved = true
+		} else if p.X > r.Max.X {
+			p.X = 2*r.Max.X - p.X
+			dir.X = -dir.X
+			moved = true
+		}
+		if p.Y < r.Min.Y {
+			p.Y = 2*r.Min.Y - p.Y
+			dir.Y = -dir.Y
+			moved = true
+		} else if p.Y > r.Max.Y {
+			p.Y = 2*r.Max.Y - p.Y
+			dir.Y = -dir.Y
+			moved = true
+		}
+		if !moved {
+			return p, dir
+		}
+	}
+	// Pathological displacement; give up and clamp.
+	return r.Clamp(p), dir
+}
+
+// Wrap folds p into r with toroidal (wrap-around) topology.
+func (r Rect) Wrap(p Vec2) Vec2 {
+	w, h := r.W(), r.H()
+	if w <= 0 || h <= 0 {
+		return r.Clamp(p)
+	}
+	p.X = math.Mod(p.X-r.Min.X, w)
+	if p.X < 0 {
+		p.X += w
+	}
+	p.Y = math.Mod(p.Y-r.Min.Y, h)
+	if p.Y < 0 {
+		p.Y += h
+	}
+	return Vec2{p.X + r.Min.X, p.Y + r.Min.Y}
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Vec2 {
+	return Vec2{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}

@@ -1,0 +1,220 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(3, 4)
+	w := V(-1, 2)
+	if got := v.Add(w); got != V(2, 6) {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := v.Sub(w); got != V(4, 2) {
+		t.Errorf("Sub: got %v", got)
+	}
+	if got := v.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale: got %v", got)
+	}
+	if got := v.Dot(w); got != 5 {
+		t.Errorf("Dot: got %v", got)
+	}
+	if got := v.Len(); got != 5 {
+		t.Errorf("Len: got %v", got)
+	}
+	if got := v.LenSq(); got != 25 {
+		t.Errorf("LenSq: got %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Vec2
+		want float64
+	}{
+		{V(0, 0), V(3, 4), 5},
+		{V(1, 1), V(1, 1), 0},
+		{V(-2, 0), V(2, 0), 4},
+		{V(0, -3), V(0, 3), 6},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); !almostEq(got, c.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.a.DistSq(c.b); !almostEq(got, c.want*c.want) {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", c.a, c.b, got, c.want*c.want)
+		}
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := V(10, 0).Norm(); got != V(1, 0) {
+		t.Errorf("Norm: got %v", got)
+	}
+	if got := V(0, 0).Norm(); got != V(0, 0) {
+		t.Errorf("Norm zero: got %v", got)
+	}
+	n := V(5, -7).Norm()
+	if !almostEq(n.Len(), 1) {
+		t.Errorf("Norm length: got %v", n.Len())
+	}
+}
+
+func TestHeadingAngleRoundTrip(t *testing.T) {
+	for _, deg := range []float64{0, 45, 90, 135, 180, 225, 270, 315, 359} {
+		h := Heading(deg)
+		if !almostEq(h.Len(), 1) {
+			t.Errorf("Heading(%v) not unit: %v", deg, h.Len())
+		}
+		if got := h.Angle(); math.Abs(got-deg) > 1e-6 {
+			t.Errorf("Angle(Heading(%v)) = %v", deg, got)
+		}
+	}
+}
+
+func TestHeadingCardinal(t *testing.T) {
+	// 90° in the paper's Table 3 means "downwards" in screen coordinates;
+	// in our math convention it is the +Y direction.
+	h := Heading(90)
+	if !almostEq(h.X, 0) || !almostEq(h.Y, 1) {
+		t.Errorf("Heading(90) = %v, want (0,1)", h)
+	}
+}
+
+// Property: distance is a metric — symmetric, non-negative, zero iff
+// equal (up to fp), and satisfies the triangle inequality.
+func TestDistMetricProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by float64) bool {
+		for _, f := range []float64{ax, ay, bx, by} {
+			if math.Abs(f) > 1e150 || math.IsNaN(f) {
+				return true
+			}
+		}
+		a, b := V(ax, ay), V(bx, by)
+		return almostEq(a.Dist(b), b.Dist(a)) && a.Dist(b) >= 0
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := V(ax, ay), V(bx, by), V(cx, cy)
+		// Guard against overflow from quick's extreme values.
+		for _, f := range []float64{ax, ay, bx, by, cx, cy} {
+			if math.Abs(f) > 1e150 || math.IsNaN(f) {
+				return true
+			}
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6*(1+a.Dist(c))
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 0, 5)
+	if r.Min != V(0, 5) || r.Max != V(10, 20) {
+		t.Errorf("R did not normalize: %+v", r)
+	}
+	if r.W() != 10 || r.H() != 15 {
+		t.Errorf("W/H: %v %v", r.W(), r.H())
+	}
+	if r.Center() != V(5, 12.5) {
+		t.Errorf("Center: %v", r.Center())
+	}
+}
+
+func TestRectContainsClamp(t *testing.T) {
+	r := R(0, 0, 100, 50)
+	if !r.Contains(V(0, 0)) || !r.Contains(V(100, 50)) || !r.Contains(V(50, 25)) {
+		t.Error("Contains edge/interior failed")
+	}
+	if r.Contains(V(-1, 0)) || r.Contains(V(0, 51)) {
+		t.Error("Contains exterior failed")
+	}
+	if got := r.Clamp(V(-10, 60)); got != V(0, 50) {
+		t.Errorf("Clamp: %v", got)
+	}
+	if got := r.Clamp(V(30, 30)); got != V(30, 30) {
+		t.Errorf("Clamp interior: %v", got)
+	}
+}
+
+func TestRectReflect(t *testing.T) {
+	r := R(0, 0, 100, 100)
+	p, d := r.Reflect(V(110, 50), V(1, 0))
+	if p != V(90, 50) || d != V(-1, 0) {
+		t.Errorf("Reflect x: %v %v", p, d)
+	}
+	p, d = r.Reflect(V(-20, -30), V(-0.5, -0.5))
+	if p != V(20, 30) || d != V(0.5, 0.5) {
+		t.Errorf("Reflect both: %v %v", p, d)
+	}
+	p, d = r.Reflect(V(50, 50), V(1, 1))
+	if p != V(50, 50) || d != V(1, 1) {
+		t.Errorf("Reflect interior changed: %v %v", p, d)
+	}
+}
+
+// Property: Reflect always lands inside the rect for sane inputs.
+func TestReflectStaysInside(t *testing.T) {
+	r := R(0, 0, 100, 100)
+	f := func(x, y float64) bool {
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p, _ := r.Reflect(V(x, y), V(1, 1))
+		return r.Contains(p) || p.Dist(r.Clamp(p)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectWrap(t *testing.T) {
+	r := R(0, 0, 100, 100)
+	if got := r.Wrap(V(150, 50)); got != V(50, 50) {
+		t.Errorf("Wrap: %v", got)
+	}
+	if got := r.Wrap(V(-10, 250)); got != V(90, 50) {
+		t.Errorf("Wrap negative: %v", got)
+	}
+	if got := r.Wrap(V(30, 30)); got != V(30, 30) {
+		t.Errorf("Wrap interior: %v", got)
+	}
+}
+
+func TestWrapStaysInside(t *testing.T) {
+	r := R(10, 10, 110, 60)
+	f := func(x, y float64) bool {
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := r.Wrap(V(x, y))
+		const eps = 1e-6
+		return p.X >= r.Min.X-eps && p.X <= r.Max.X+eps &&
+			p.Y >= r.Min.Y-eps && p.Y <= r.Max.Y+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegenerateRect(t *testing.T) {
+	r := R(5, 5, 5, 5)
+	p, _ := r.Reflect(V(100, 100), V(1, 1))
+	if p != V(5, 5) {
+		t.Errorf("degenerate Reflect: %v", p)
+	}
+	if got := r.Wrap(V(100, 100)); got != V(5, 5) {
+		t.Errorf("degenerate Wrap: %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package linkmodel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/linkmodel"
+)
+
+// The Table 3 configuration: a piecewise-linear loss model and the
+// paper's forwarding formula evaluated for one packet.
+func ExampleModel_Evaluate() {
+	loss, _ := linkmodel.NewDistanceLoss(0.1, 0.9, 50, 200)
+	model := linkmodel.Model{
+		Loss:      loss,
+		Bandwidth: linkmodel.ConstantBandwidth{Bps: 8e6}, // 1 MB/s
+		Delay:     linkmodel.ConstantDelay{D: 2 * time.Millisecond},
+	}
+	rng := rand.New(rand.NewSource(7))  // deterministic die: this seed keeps the packet
+	d := model.Evaluate(120, 1000, rng) // 1000 bytes at distance 120
+	fmt.Printf("loss prob at r=120: %.3f\n", d.LossProb)
+	fmt.Printf("dropped: %v\n", d.Drop)
+	fmt.Printf("t_forward offset: %v (delay %v + airtime %v)\n", d.Total(), d.Delay, d.TxTime)
+	// Output:
+	// loss prob at r=120: 0.473
+	// dropped: false
+	// t_forward offset: 3ms (delay 2ms + airtime 1ms)
+}
+
+// Gaussian bandwidth degrades with distance between M and m.
+func ExampleGaussianBandwidth() {
+	bw, _ := linkmodel.NewGaussianBandwidth(11e6, 1e6, 200)
+	for _, r := range []float64{0, 100, 200} {
+		fmt.Printf("B(%3.0f) = %5.2f Mb/s\n", r, bw.BitsPerSecond(r)/1e6)
+	}
+	// Output:
+	// B(  0) = 11.00 Mb/s
+	// B(100) =  6.04 Mb/s
+	// B(200) =  1.00 Mb/s
+}
+
+// End-to-end loss across a two-hop relay path (the Figure 10
+// expectation).
+func ExamplePathLoss() {
+	loss, _ := linkmodel.NewDistanceLoss(0.1, 0.9, 50, 200)
+	p := loss.LossProb(120) // both hops at 120 units
+	fmt.Printf("per hop %.3f, end to end %.3f\n", p, linkmodel.PathLoss(p, p))
+	// Output:
+	// per hop 0.473, end to end 0.723
+}

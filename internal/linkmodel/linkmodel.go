@@ -1,0 +1,259 @@
+// Package linkmodel implements the configurable wireless link models of
+// the paper's §4.3.2. A link is characterized by three parameters —
+// packet loss, bandwidth, and delay — and the emulation server consults
+// the composite Model for every packet it forwards:
+//
+//	drop?       with probability P_loss(r)
+//	t_forward = t_receipt + delay + packet_size/bandwidth(r)
+//
+// where r is the current distance between the two virtual nodes.
+//
+// The paper's specific models:
+//
+//   - Loss: piecewise linear in distance. P(r) = P0 for r ≤ D0, then
+//     rises with slope Kp = (P1-P0)/(R-D0) up to P1 at the radio range
+//     R. Setting P1 = P0 degenerates to a constant model.
+//   - Bandwidth: Gaussian in distance, B(r) = M·exp(-Kb·r²) with
+//     Kb = ln(M/m)/R², so B(0)=M and B(R)=m. Setting m = M degenerates
+//     to a constant model.
+//   - Delay: a fixed propagation/processing delay, optionally jittered.
+package linkmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LossModel yields the packet loss probability at distance r from the
+// source node. Results are always in [0,1].
+type LossModel interface {
+	LossProb(r float64) float64
+}
+
+// BandwidthModel yields the link bandwidth in bits per second at
+// distance r. Results are always positive.
+type BandwidthModel interface {
+	BitsPerSecond(r float64) float64
+}
+
+// DelayModel yields the fixed (non-serialization) component of the
+// forwarding delay. Implementations may draw jitter from rng.
+type DelayModel interface {
+	Delay(rng *rand.Rand) time.Duration
+}
+
+// ---------------------------------------------------------------------------
+// Loss models
+
+// DistanceLoss is the paper's piecewise-linear loss model:
+//
+//	P(r) = P0                      for r ≤ D0
+//	P(r) = P0 + Kp·(r - D0)        for D0 < r < R, Kp = (P1-P0)/(R-D0)
+//	P(r) = P1                      for r ≥ R
+type DistanceLoss struct {
+	P0, P1 float64 // loss probability at close range / at the range edge
+	D0     float64 // distance up to which loss stays at P0
+	R      float64 // radio range
+}
+
+// NewDistanceLoss validates the parameters (0 ≤ P0 ≤ P1 ≤ 1,
+// 0 ≤ D0 < R) and returns the model.
+func NewDistanceLoss(p0, p1, d0, r float64) (DistanceLoss, error) {
+	switch {
+	case p0 < 0 || p0 > 1 || p1 < 0 || p1 > 1:
+		return DistanceLoss{}, fmt.Errorf("linkmodel: loss probabilities out of [0,1]: P0=%v P1=%v", p0, p1)
+	case p1 < p0:
+		return DistanceLoss{}, fmt.Errorf("linkmodel: P1 (%v) must be ≥ P0 (%v)", p1, p0)
+	case d0 < 0 || r <= 0 || d0 >= r:
+		return DistanceLoss{}, fmt.Errorf("linkmodel: need 0 ≤ D0 < R, got D0=%v R=%v", d0, r)
+	}
+	return DistanceLoss{P0: p0, P1: p1, D0: d0, R: r}, nil
+}
+
+// Kp returns the model's slope (P1-P0)/(R-D0).
+func (l DistanceLoss) Kp() float64 { return (l.P1 - l.P0) / (l.R - l.D0) }
+
+// LossProb implements LossModel.
+func (l DistanceLoss) LossProb(r float64) float64 {
+	switch {
+	case r <= l.D0:
+		return l.P0
+	case r >= l.R:
+		return l.P1
+	default:
+		return l.P0 + l.Kp()*(r-l.D0)
+	}
+}
+
+// ConstantLoss drops every packet with fixed probability P.
+type ConstantLoss struct{ P float64 }
+
+// LossProb implements LossModel.
+func (c ConstantLoss) LossProb(float64) float64 {
+	return math.Min(math.Max(c.P, 0), 1)
+}
+
+// NoLoss never drops a packet.
+type NoLoss struct{}
+
+// LossProb implements LossModel.
+func (NoLoss) LossProb(float64) float64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Bandwidth models
+
+// GaussianBandwidth is the paper's distance-dependent bandwidth model
+// B(r) = M·exp(-Kb·r²) with Kb = ln(M/m)/R².
+type GaussianBandwidth struct {
+	M   float64 // bandwidth at zero distance, bits/s
+	Min float64 // bandwidth at the range edge (the paper's m), bits/s
+	R   float64 // radio range
+}
+
+// NewGaussianBandwidth validates 0 < m ≤ M and R > 0.
+func NewGaussianBandwidth(max, min, r float64) (GaussianBandwidth, error) {
+	switch {
+	case min <= 0 || max <= 0:
+		return GaussianBandwidth{}, fmt.Errorf("linkmodel: bandwidths must be positive: M=%v m=%v", max, min)
+	case min > max:
+		return GaussianBandwidth{}, fmt.Errorf("linkmodel: m (%v) must be ≤ M (%v)", min, max)
+	case r <= 0:
+		return GaussianBandwidth{}, fmt.Errorf("linkmodel: R must be positive, got %v", r)
+	}
+	return GaussianBandwidth{M: max, Min: min, R: r}, nil
+}
+
+// Kb returns the decay constant ln(M/m)/R².
+func (b GaussianBandwidth) Kb() float64 { return math.Log(b.M/b.Min) / (b.R * b.R) }
+
+// BitsPerSecond implements BandwidthModel. Beyond the radio range the
+// bandwidth is clamped at m (forwarding out of range is the neighbor
+// table's concern, not the link model's).
+func (b GaussianBandwidth) BitsPerSecond(r float64) float64 {
+	if r >= b.R {
+		return b.Min
+	}
+	if r <= 0 {
+		return b.M
+	}
+	return b.M * math.Exp(-b.Kb()*r*r)
+}
+
+// ConstantBandwidth is a fixed-rate link.
+type ConstantBandwidth struct{ Bps float64 }
+
+// BitsPerSecond implements BandwidthModel.
+func (c ConstantBandwidth) BitsPerSecond(float64) float64 {
+	if c.Bps <= 0 {
+		return 1 // guard: a zero-rate link would stall the schedule forever
+	}
+	return c.Bps
+}
+
+// ---------------------------------------------------------------------------
+// Delay models
+
+// ConstantDelay always returns D.
+type ConstantDelay struct{ D time.Duration }
+
+// Delay implements DelayModel.
+func (c ConstantDelay) Delay(*rand.Rand) time.Duration { return c.D }
+
+// UniformDelay draws uniformly from [Min, Max].
+type UniformDelay struct{ Min, Max time.Duration }
+
+// Delay implements DelayModel.
+func (u UniformDelay) Delay(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// NormalDelay draws from a normal distribution truncated at zero.
+type NormalDelay struct {
+	Mean, Std time.Duration
+}
+
+// Delay implements DelayModel.
+func (n NormalDelay) Delay(rng *rand.Rand) time.Duration {
+	d := time.Duration(float64(n.Mean) + rng.NormFloat64()*float64(n.Std))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Composite model
+
+// Model bundles the three link parameters, exactly as the paper's GUI
+// exposes them per channel. The zero value is unusable; use New or fill
+// all three fields.
+type Model struct {
+	Loss      LossModel
+	Bandwidth BandwidthModel
+	Delay     DelayModel
+}
+
+// ErrIncompleteModel reports a Model missing one of its components.
+var ErrIncompleteModel = errors.New("linkmodel: model missing a component")
+
+// New assembles and validates a composite model.
+func New(loss LossModel, bw BandwidthModel, delay DelayModel) (Model, error) {
+	m := Model{Loss: loss, Bandwidth: bw, Delay: delay}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// Validate checks that all components are present.
+func (m Model) Validate() error {
+	if m.Loss == nil || m.Bandwidth == nil || m.Delay == nil {
+		return ErrIncompleteModel
+	}
+	return nil
+}
+
+// Decision is the outcome of evaluating the model for one packet.
+type Decision struct {
+	Drop     bool
+	Delay    time.Duration // fixed delay component
+	TxTime   time.Duration // serialization: size/bandwidth
+	LossProb float64       // the probability that was rolled against
+}
+
+// Total returns the full forwarding latency for a kept packet.
+func (d Decision) Total() time.Duration { return d.Delay + d.TxTime }
+
+// Evaluate rolls the loss die and computes the forwarding latency for a
+// packet of sizeBytes at distance r. It implements the paper's Step 3
+// formula: t_forward = t_receipt + delay + packet_size/bandwidth.
+func (m Model) Evaluate(r float64, sizeBytes int, rng *rand.Rand) Decision {
+	p := m.Loss.LossProb(r)
+	d := Decision{LossProb: p}
+	if p > 0 && rng.Float64() < p {
+		d.Drop = true
+		return d
+	}
+	d.Delay = m.Delay.Delay(rng)
+	bps := m.Bandwidth.BitsPerSecond(r)
+	bits := float64(sizeBytes) * 8
+	d.TxTime = time.Duration(bits / bps * float64(time.Second))
+	return d
+}
+
+// Default returns the model used when a channel has no explicit
+// configuration: lossless, 11 Mb/s (a typical 802.11b rate for the
+// paper's era), 1 ms fixed delay.
+func Default() Model {
+	return Model{
+		Loss:      NoLoss{},
+		Bandwidth: ConstantBandwidth{Bps: 11e6},
+		Delay:     ConstantDelay{D: time.Millisecond},
+	}
+}

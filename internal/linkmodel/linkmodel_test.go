@@ -1,0 +1,327 @@
+package linkmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// The paper's Table 3 loss parameters: P0=0.1, P1=0.9, D0=50, R=200, α=2.
+func table3Loss(t *testing.T) DistanceLoss {
+	t.Helper()
+	l, err := NewDistanceLoss(0.1, 0.9, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestDistanceLossShape(t *testing.T) {
+	l := table3Loss(t)
+	if !almostEq(l.LossProb(0), 0.1) || !almostEq(l.LossProb(50), 0.1) {
+		t.Error("flat region wrong")
+	}
+	if !almostEq(l.LossProb(200), 0.9) || !almostEq(l.LossProb(500), 0.9) {
+		t.Error("edge clamp wrong")
+	}
+	// Midpoint of the ramp: r=125 → P0 + Kp*75 = 0.1 + (0.8/150)*75 = 0.5
+	if !almostEq(l.LossProb(125), 0.5) {
+		t.Errorf("ramp midpoint = %v, want 0.5", l.LossProb(125))
+	}
+	if !almostEq(l.Kp(), 0.8/150) {
+		t.Errorf("Kp = %v", l.Kp())
+	}
+}
+
+func TestDistanceLossConstantDegenerate(t *testing.T) {
+	// P1 = P0 turns the model into a constant, per the paper.
+	l, err := NewDistanceLoss(0.3, 0.3, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0, 10, 55, 100, 1000} {
+		if !almostEq(l.LossProb(r), 0.3) {
+			t.Errorf("constant degenerate at r=%v: %v", r, l.LossProb(r))
+		}
+	}
+}
+
+func TestDistanceLossValidation(t *testing.T) {
+	cases := []struct{ p0, p1, d0, r float64 }{
+		{-0.1, 0.5, 10, 100}, // negative P0
+		{0.1, 1.5, 10, 100},  // P1 > 1
+		{0.5, 0.1, 10, 100},  // P1 < P0
+		{0.1, 0.9, 100, 100}, // D0 == R
+		{0.1, 0.9, 150, 100}, // D0 > R
+		{0.1, 0.9, -5, 100},  // negative D0
+		{0.1, 0.9, 10, 0},    // zero R
+	}
+	for _, c := range cases {
+		if _, err := NewDistanceLoss(c.p0, c.p1, c.d0, c.r); err == nil {
+			t.Errorf("NewDistanceLoss(%v,%v,%v,%v) accepted", c.p0, c.p1, c.d0, c.r)
+		}
+	}
+}
+
+// Property: loss probability is always in [0,1] and non-decreasing in r.
+func TestDistanceLossMonotoneBounded(t *testing.T) {
+	l := table3Loss(t)
+	f := func(a, b float64) bool {
+		a, b = math.Abs(math.Mod(a, 1e6)), math.Abs(math.Mod(b, 1e6))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := l.LossProb(a), l.LossProb(b)
+		return pa >= 0 && pb <= 1 && pa <= pb+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantAndNoLoss(t *testing.T) {
+	if (ConstantLoss{P: 0.25}).LossProb(1234) != 0.25 {
+		t.Error("ConstantLoss")
+	}
+	if (ConstantLoss{P: 7}).LossProb(0) != 1 {
+		t.Error("ConstantLoss clamp high")
+	}
+	if (ConstantLoss{P: -1}).LossProb(0) != 0 {
+		t.Error("ConstantLoss clamp low")
+	}
+	if (NoLoss{}).LossProb(1e9) != 0 {
+		t.Error("NoLoss")
+	}
+}
+
+func TestGaussianBandwidthEndpoints(t *testing.T) {
+	b, err := NewGaussianBandwidth(11e6, 1e6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(b.BitsPerSecond(0), 11e6) {
+		t.Errorf("B(0) = %v", b.BitsPerSecond(0))
+	}
+	if !almostEq(b.BitsPerSecond(200), 1e6) {
+		t.Errorf("B(R) = %v", b.BitsPerSecond(200))
+	}
+	if !almostEq(b.BitsPerSecond(500), 1e6) {
+		t.Errorf("B beyond R = %v", b.BitsPerSecond(500))
+	}
+	// Closed form at r=100: M*exp(-Kb*1e4), Kb = ln(11)/4e4.
+	want := 11e6 * math.Exp(-math.Log(11)/4e4*1e4)
+	if !almostEq(b.BitsPerSecond(100), want) {
+		t.Errorf("B(100) = %v, want %v", b.BitsPerSecond(100), want)
+	}
+}
+
+func TestGaussianBandwidthConstantDegenerate(t *testing.T) {
+	b, err := NewGaussianBandwidth(5e6, 5e6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{0, 30, 99.9, 100} {
+		if !almostEq(b.BitsPerSecond(r), 5e6) {
+			t.Errorf("m=M degenerate at r=%v: %v", r, b.BitsPerSecond(r))
+		}
+	}
+}
+
+func TestGaussianBandwidthValidation(t *testing.T) {
+	cases := []struct{ max, min, r float64 }{
+		{0, 1e6, 100},
+		{1e6, 0, 100},
+		{1e6, 2e6, 100}, // m > M
+		{1e6, 1e5, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewGaussianBandwidth(c.max, c.min, c.r); err == nil {
+			t.Errorf("NewGaussianBandwidth(%v,%v,%v) accepted", c.max, c.min, c.r)
+		}
+	}
+}
+
+// Property: bandwidth is positive, bounded by [m, M], non-increasing.
+func TestGaussianBandwidthMonotone(t *testing.T) {
+	b, err := NewGaussianBandwidth(11e6, 1e6, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y float64) bool {
+		x, y = math.Abs(math.Mod(x, 1e4)), math.Abs(math.Mod(y, 1e4))
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		bx, by := b.BitsPerSecond(x), b.BitsPerSecond(y)
+		return bx >= by-1e-6 && by >= 1e6-1e-6 && bx <= 11e6+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantBandwidthGuard(t *testing.T) {
+	if (ConstantBandwidth{Bps: 0}).BitsPerSecond(0) <= 0 {
+		t.Error("zero-rate guard failed")
+	}
+	if (ConstantBandwidth{Bps: 4e6}).BitsPerSecond(99) != 4e6 {
+		t.Error("constant bandwidth")
+	}
+}
+
+func TestDelayModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if (ConstantDelay{D: 5 * time.Millisecond}).Delay(rng) != 5*time.Millisecond {
+		t.Error("ConstantDelay")
+	}
+	u := UniformDelay{Min: time.Millisecond, Max: 3 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := u.Delay(rng)
+		if d < u.Min || d > u.Max {
+			t.Fatalf("UniformDelay out of range: %v", d)
+		}
+	}
+	if (UniformDelay{Min: 2 * time.Millisecond, Max: time.Millisecond}).Delay(rng) != 2*time.Millisecond {
+		t.Error("UniformDelay degenerate range")
+	}
+	n := NormalDelay{Mean: time.Millisecond, Std: 10 * time.Millisecond}
+	for i := 0; i < 200; i++ {
+		if n.Delay(rng) < 0 {
+			t.Fatal("NormalDelay went negative")
+		}
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := (Model{}).Validate(); err == nil {
+		t.Error("empty model validated")
+	}
+	if _, err := New(NoLoss{}, nil, ConstantDelay{}); err == nil {
+		t.Error("nil bandwidth accepted")
+	}
+	m, err := New(NoLoss{}, ConstantBandwidth{Bps: 1e6}, ConstantDelay{})
+	if err != nil || m.Validate() != nil {
+		t.Error("valid model rejected")
+	}
+}
+
+func TestEvaluateNoLossTiming(t *testing.T) {
+	m := Model{
+		Loss:      NoLoss{},
+		Bandwidth: ConstantBandwidth{Bps: 8e6}, // 1 MB/s
+		Delay:     ConstantDelay{D: 2 * time.Millisecond},
+	}
+	rng := rand.New(rand.NewSource(1))
+	d := m.Evaluate(100, 1000, rng) // 1000 bytes at 1 MB/s = 1ms
+	if d.Drop {
+		t.Fatal("NoLoss dropped")
+	}
+	if d.Delay != 2*time.Millisecond {
+		t.Errorf("Delay = %v", d.Delay)
+	}
+	if d.TxTime != time.Millisecond {
+		t.Errorf("TxTime = %v, want 1ms", d.TxTime)
+	}
+	if d.Total() != 3*time.Millisecond {
+		t.Errorf("Total = %v", d.Total())
+	}
+}
+
+func TestEvaluateDropRateStatistical(t *testing.T) {
+	m := Model{
+		Loss:      ConstantLoss{P: 0.3},
+		Bandwidth: ConstantBandwidth{Bps: 1e6},
+		Delay:     ConstantDelay{},
+	}
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	drops := 0
+	for i := 0; i < n; i++ {
+		if m.Evaluate(0, 100, rng).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("empirical drop rate %v, want ≈0.3", rate)
+	}
+}
+
+func TestEvaluateAlwaysDrop(t *testing.T) {
+	m := Model{Loss: ConstantLoss{P: 1}, Bandwidth: ConstantBandwidth{Bps: 1e6}, Delay: ConstantDelay{}}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		if !m.Evaluate(0, 10, rng).Drop {
+			t.Fatal("P=1 did not drop")
+		}
+	}
+}
+
+func TestDefaultModel(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	d := m.Evaluate(50, 1375, rng) // 11000 bits at 11 Mb/s = 1ms tx
+	if d.Drop {
+		t.Error("default model dropped")
+	}
+	if d.TxTime != time.Millisecond {
+		t.Errorf("default TxTime = %v", d.TxTime)
+	}
+}
+
+func TestPathLoss(t *testing.T) {
+	if PathLoss() != 0 {
+		t.Error("empty path")
+	}
+	if !almostEq(PathLoss(0.5), 0.5) {
+		t.Error("single hop")
+	}
+	if !almostEq(PathLoss(0.1, 0.1), 0.19) {
+		t.Errorf("two hops: %v", PathLoss(0.1, 0.1))
+	}
+	if !almostEq(PathLoss(1, 0), 1) {
+		t.Error("certain loss hop")
+	}
+	if !almostEq(PathLoss(-0.5, 2), 1) {
+		t.Error("clamping")
+	}
+}
+
+func TestExpectedPathLossAt(t *testing.T) {
+	l := table3Loss(t)
+	// Two hops at D0 distance each: both at P0=0.1 → 0.19.
+	if got := ExpectedPathLossAt(l, 50, 50); !almostEq(got, 0.19) {
+		t.Errorf("ExpectedPathLossAt = %v", got)
+	}
+}
+
+// Property: PathLoss is monotone in each hop probability.
+func TestPathLossMonotoneProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		clamp := func(x float64) float64 {
+			if math.IsNaN(x) {
+				return 0
+			}
+			return math.Abs(math.Mod(x, 1))
+		}
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		lo, hi := math.Min(b, c), math.Max(b, c)
+		return PathLoss(a, lo) <= PathLoss(a, hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package linkmodel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Shadowing wraps a distance-based loss model with log-normal slow
+// fading — part of the "sophisticated underlying models" the paper's §7
+// defers. Real links do not see the geometric distance: obstacles and
+// multipath shift the received power by a log-normally distributed
+// amount that stays correlated for a coherence time. The wrapper models
+// this as an *effective distance*
+//
+//	r_eff = r · 10^(X/(10·γ)),   X ~ N(0, σ_dB)
+//
+// resampled every Coherence of emulation time, where γ is the path-loss
+// exponent (the paper's α = 2 in Table 3). σ_dB = 0 degenerates to the
+// base model exactly.
+//
+// Shadowing is safe for concurrent use (the server's scheduling
+// goroutines evaluate link models in parallel).
+type Shadowing struct {
+	Base      LossModel
+	SigmaDB   float64       // shadowing standard deviation, dB
+	PathLoss  float64       // γ; default 2
+	Coherence time.Duration // fade resample interval (emulation time)
+	Clock     vclock.Clock  // supplies emulation time
+	Seed      int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	factor float64
+	until  vclock.Time
+	init   bool
+}
+
+// NewShadowing assembles the wrapper with defaults filled.
+func NewShadowing(base LossModel, sigmaDB float64, clk vclock.Clock, seed int64) *Shadowing {
+	return &Shadowing{
+		Base:      base,
+		SigmaDB:   sigmaDB,
+		PathLoss:  2,
+		Coherence: 500 * time.Millisecond,
+		Clock:     clk,
+		Seed:      seed,
+	}
+}
+
+// LossProb implements LossModel.
+func (s *Shadowing) LossProb(r float64) float64 {
+	return s.Base.LossProb(r * s.currentFactor())
+}
+
+// currentFactor returns the fade multiplier for the current coherence
+// interval, resampling when it expires.
+func (s *Shadowing) currentFactor() float64 {
+	if s.SigmaDB <= 0 {
+		return 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.Seed))
+	}
+	gamma := s.PathLoss
+	if gamma <= 0 {
+		gamma = 2
+	}
+	now := vclock.Time(0)
+	if s.Clock != nil {
+		now = s.Clock.Now()
+	}
+	coh := s.Coherence
+	if coh <= 0 {
+		coh = 500 * time.Millisecond
+	}
+	if !s.init || (s.Clock != nil && now >= s.until) {
+		x := s.rng.NormFloat64() * s.SigmaDB
+		s.factor = math.Pow(10, x/(10*gamma))
+		s.until = now.Add(coh)
+		s.init = true
+	}
+	return s.factor
+}

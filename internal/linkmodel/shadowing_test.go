@@ -1,0 +1,130 @@
+package linkmodel
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func shadowBase(t *testing.T) DistanceLoss {
+	t.Helper()
+	l, err := NewDistanceLoss(0.1, 0.9, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestShadowingZeroSigmaIsIdentity(t *testing.T) {
+	base := shadowBase(t)
+	s := NewShadowing(base, 0, vclock.NewManual(0), 1)
+	for _, r := range []float64{0, 50, 125, 200, 500} {
+		if s.LossProb(r) != base.LossProb(r) {
+			t.Errorf("σ=0 differs at r=%v", r)
+		}
+	}
+}
+
+func TestShadowingStableWithinCoherence(t *testing.T) {
+	clk := vclock.NewManual(0)
+	s := NewShadowing(shadowBase(t), 6, clk, 42)
+	s.Coherence = time.Second
+	a := s.LossProb(125)
+	b := s.LossProb(125) // same instant: same fade
+	clk.Advance(500 * time.Millisecond)
+	c := s.LossProb(125) // still inside the coherence interval
+	if a != b || a != c {
+		t.Errorf("fade changed within coherence: %v %v %v", a, b, c)
+	}
+}
+
+func TestShadowingResamplesAfterCoherence(t *testing.T) {
+	clk := vclock.NewManual(0)
+	s := NewShadowing(shadowBase(t), 8, clk, 42)
+	s.Coherence = time.Second
+	changed := false
+	prev := s.LossProb(125)
+	for i := 0; i < 20 && !changed; i++ {
+		clk.Advance(time.Second)
+		if got := s.LossProb(125); got != prev {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("fade never resampled")
+	}
+}
+
+func TestShadowingMeanNearBase(t *testing.T) {
+	// Across many fades the median effective distance is r (X has zero
+	// median), so the long-run average loss should land near the base
+	// value for a point on the linear ramp.
+	clk := vclock.NewManual(0)
+	base := shadowBase(t)
+	s := NewShadowing(base, 4, clk, 7)
+	s.Coherence = time.Millisecond
+	const n = 5000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		clk.Advance(time.Millisecond)
+		sum += s.LossProb(125)
+	}
+	mean := sum / n
+	if math.Abs(mean-base.LossProb(125)) > 0.1 {
+		t.Errorf("mean shadowed loss %v vs base %v", mean, base.LossProb(125))
+	}
+}
+
+func TestShadowingBounded(t *testing.T) {
+	clk := vclock.NewManual(0)
+	s := NewShadowing(shadowBase(t), 12, clk, 3)
+	s.Coherence = time.Millisecond
+	for i := 0; i < 2000; i++ {
+		clk.Advance(time.Millisecond)
+		p := s.LossProb(float64(i % 300))
+		if p < 0 || p > 1 {
+			t.Fatalf("loss out of range: %v", p)
+		}
+	}
+}
+
+func TestShadowingConcurrentSafe(t *testing.T) {
+	clk := vclock.NewSystem(1000)
+	s := NewShadowing(shadowBase(t), 6, clk, 9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if p := s.LossProb(100); p < 0 || p > 1 {
+					t.Errorf("bad prob %v", p)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestShadowingInModel(t *testing.T) {
+	// Composes with the full Model machinery.
+	clk := vclock.NewManual(0)
+	m, err := New(
+		NewShadowing(shadowBase(t), 6, clk, 1),
+		ConstantBandwidth{Bps: 1e6},
+		ConstantDelay{D: time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	d := m.Evaluate(100, 500, rng)
+	if d.LossProb < 0 || d.LossProb > 1 {
+		t.Errorf("decision prob %v", d.LossProb)
+	}
+}

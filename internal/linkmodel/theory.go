@@ -1,0 +1,32 @@
+package linkmodel
+
+// Theoretical helpers used to draw the paper's "expected" curves
+// (Figure 10 plots the analytically expected real-time loss rate next
+// to the measured one).
+
+// PathLoss returns the end-to-end loss probability of a multi-hop path
+// whose hops drop independently with the given probabilities:
+// 1 - Π(1-p_i). An empty path loses nothing.
+func PathLoss(hopLoss ...float64) float64 {
+	keep := 1.0
+	for _, p := range hopLoss {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		keep *= 1 - p
+	}
+	return 1 - keep
+}
+
+// ExpectedPathLossAt evaluates the expected end-to-end loss for a chain
+// of hop distances under a common loss model.
+func ExpectedPathLossAt(loss LossModel, hopDist ...float64) float64 {
+	probs := make([]float64, len(hopDist))
+	for i, r := range hopDist {
+		probs[i] = loss.LossProb(r)
+	}
+	return PathLoss(probs...)
+}

@@ -1,0 +1,131 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/vclock"
+)
+
+// GaussMarkov is the Gauss-Markov mobility model from the survey the
+// paper cites ([11] Camp et al.): speed and direction evolve as
+// first-order autoregressive processes, giving trajectories whose
+// smoothness is tunable between random walk (α=0, memoryless) and
+// straight-line motion (α=1, fully deterministic):
+//
+//	s_n = α·s_{n−1} + (1−α)·s̄ + √(1−α²)·σ_s·N(0,1)
+//	d_n = α·d_{n−1} + (1−α)·d̄ + √(1−α²)·σ_d·N(0,1)
+//
+// Near the region edge the mean direction d̄ is steered toward the
+// center so nodes do not pile up on the boundary (the standard
+// edge-avoidance refinement).
+type GaussMarkov struct {
+	Alpha     float64 // memory, 0 ≤ α ≤ 1
+	MeanSpeed float64 // s̄, units/s
+	SpeedStd  float64 // σ_s
+	DirStd    float64 // σ_d, degrees
+	Step      float64 // seconds between updates
+	Region    geom.Rect
+}
+
+// Validate reports configuration errors.
+func (m GaussMarkov) Validate() error {
+	switch {
+	case m.Alpha < 0 || m.Alpha > 1:
+		return errOut("alpha", m.Alpha)
+	case m.MeanSpeed < 0:
+		return errOut("mean speed", m.MeanSpeed)
+	case m.Step <= 0:
+		return errOut("step", m.Step)
+	case m.Region.W() <= 0 || m.Region.H() <= 0:
+		return errOut("region width/height", 0)
+	}
+	return nil
+}
+
+func errOut(what string, v float64) error {
+	return &configError{what: what, v: v}
+}
+
+type configError struct {
+	what string
+	v    float64
+}
+
+func (e *configError) Error() string {
+	return "mobility: gauss-markov: bad " + e.what
+}
+
+// NewWalker implements Model.
+func (m GaussMarkov) NewWalker(start geom.Vec2, rng *rand.Rand) Walker {
+	return &gmWalker{
+		model: m,
+		pos:   m.Region.Clamp(start),
+		speed: m.MeanSpeed,
+		dir:   rng.Float64() * 360,
+		rng:   rng,
+	}
+}
+
+type gmWalker struct {
+	model    GaussMarkov
+	rng      *rand.Rand
+	pos      geom.Vec2
+	speed    float64
+	dir      float64 // degrees
+	started  bool
+	stepEnd  vclock.Time
+	stepVel  geom.Vec2
+	stepBase geom.Vec2
+	stepAt   vclock.Time
+}
+
+func (w *gmWalker) Moving() bool { return true }
+
+func (w *gmWalker) Pos(t vclock.Time) geom.Vec2 {
+	if !w.started {
+		w.started = true
+		w.stepAt = t
+		w.beginStep()
+	}
+	for t >= w.stepEnd {
+		// Settle this step and draw the next AR(1) sample.
+		dt := (w.stepEnd - w.stepAt).Sub(0).Seconds()
+		w.pos = w.model.Region.Clamp(w.stepBase.Add(w.stepVel.Scale(dt)))
+		w.stepAt = w.stepEnd
+		w.evolve()
+		w.beginStep()
+	}
+	dt := (t - w.stepAt).Sub(0).Seconds()
+	return w.model.Region.Clamp(w.stepBase.Add(w.stepVel.Scale(dt)))
+}
+
+// beginStep freezes the current (speed, dir) into a velocity for the
+// step interval.
+func (w *gmWalker) beginStep() {
+	w.stepBase = w.pos
+	w.stepVel = geom.Heading(w.dir).Scale(w.speed)
+	w.stepEnd = w.stepAt + vclock.FromSeconds(w.model.Step)
+}
+
+// evolve advances the AR(1) processes, steering d̄ toward the region
+// center near the edges.
+func (w *gmWalker) evolve() {
+	m := w.model
+	a := m.Alpha
+	noise := math.Sqrt(1 - a*a)
+	meanDir := w.dir
+	// Edge avoidance: inside the outer 20 % band, aim at the center.
+	margin := 0.2
+	rx := (w.pos.X - m.Region.Min.X) / m.Region.W()
+	ry := (w.pos.Y - m.Region.Min.Y) / m.Region.H()
+	if rx < margin || rx > 1-margin || ry < margin || ry > 1-margin {
+		meanDir = m.Region.Center().Sub(w.pos).Angle()
+	}
+	w.speed = a*w.speed + (1-a)*m.MeanSpeed + noise*m.SpeedStd*w.rng.NormFloat64()
+	if w.speed < 0 {
+		w.speed = 0
+	}
+	w.dir = a*w.dir + (1-a)*meanDir + noise*m.DirStd*w.rng.NormFloat64()
+}

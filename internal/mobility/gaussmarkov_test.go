@@ -1,0 +1,120 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/vclock"
+)
+
+func gmModel(alpha float64) GaussMarkov {
+	return GaussMarkov{
+		Alpha:     alpha,
+		MeanSpeed: 10,
+		SpeedStd:  2,
+		DirStd:    20,
+		Step:      1,
+		Region:    geom.R(0, 0, 1000, 1000),
+	}
+}
+
+func TestGaussMarkovValidate(t *testing.T) {
+	if err := gmModel(0.7).Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []GaussMarkov{
+		{Alpha: -0.1, MeanSpeed: 1, Step: 1, Region: geom.R(0, 0, 10, 10)},
+		{Alpha: 1.1, MeanSpeed: 1, Step: 1, Region: geom.R(0, 0, 10, 10)},
+		{Alpha: 0.5, MeanSpeed: -1, Step: 1, Region: geom.R(0, 0, 10, 10)},
+		{Alpha: 0.5, MeanSpeed: 1, Step: 0, Region: geom.R(0, 0, 10, 10)},
+		{Alpha: 0.5, MeanSpeed: 1, Step: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestGaussMarkovStaysInRegion(t *testing.T) {
+	m := gmModel(0.8)
+	w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(3)))
+	for s := 0.0; s < 2000; s += 0.5 {
+		p := w.Pos(vclock.FromSeconds(s))
+		if !m.Region.Contains(p) {
+			t.Fatalf("left region at %vs: %v", s, p)
+		}
+	}
+}
+
+func TestGaussMarkovMeanSpeedLongRun(t *testing.T) {
+	m := gmModel(0.75)
+	w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(9)))
+	prev := w.Pos(0)
+	total := 0.0
+	const steps = 4000
+	for i := 1; i <= steps; i++ {
+		p := w.Pos(vclock.FromSeconds(float64(i)))
+		total += p.Dist(prev)
+		prev = p
+	}
+	mean := total / steps
+	// Long-run mean displacement per second ≈ mean speed (clamping at
+	// edges and direction churn lose a little).
+	if mean < 4 || mean > 12 {
+		t.Errorf("mean speed %v, want roughly 10", mean)
+	}
+}
+
+// α controls smoothness: high-α trajectories turn far less per step
+// than low-α ones.
+func TestGaussMarkovAlphaControlsSmoothness(t *testing.T) {
+	turniness := func(alpha float64) float64 {
+		m := gmModel(alpha)
+		m.DirStd = 45
+		w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(4)))
+		var prev, cur geom.Vec2
+		prev = w.Pos(0)
+		cur = w.Pos(vclock.FromSeconds(1))
+		sum := 0.0
+		n := 0
+		for i := 2; i < 800; i++ {
+			next := w.Pos(vclock.FromSeconds(float64(i)))
+			v1 := cur.Sub(prev)
+			v2 := next.Sub(cur)
+			if v1.Len() > 1e-9 && v2.Len() > 1e-9 {
+				d := math.Abs(angleDiff(v1.Angle(), v2.Angle()))
+				sum += d
+				n++
+			}
+			prev, cur = cur, next
+		}
+		return sum / float64(n)
+	}
+	smooth := turniness(0.95)
+	rough := turniness(0.05)
+	if smooth >= rough {
+		t.Errorf("α=0.95 turniness %v not below α=0.05 turniness %v", smooth, rough)
+	}
+}
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(b-a+540, 360) - 180
+	return d
+}
+
+func TestGaussMarkovDeterministic(t *testing.T) {
+	run := func() geom.Vec2 {
+		w := gmModel(0.6).NewWalker(geom.V(100, 100), rand.New(rand.NewSource(11)))
+		var p geom.Vec2
+		for i := 0; i <= 200; i++ {
+			p = w.Pos(vclock.FromSeconds(float64(i)))
+		}
+		return p
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,249 @@
+// Package mobility implements the paper's generalized VMN mobility
+// model (§4.3.1) and its classical specializations.
+//
+// The paper describes node movement as a 4-tuple
+//
+//	<pause_time, direction, move_speed, move_time>
+//
+// where each element is either a constant or a random draw from a
+// range. A node alternates pause legs and move legs; during a move leg
+// of duration t_move at speed v and direction θ:
+//
+//	x(t + t_move) = x(t) + v·t_move·cos θ
+//	y(t + t_move) = y(t) + v·t_move·sin θ
+//
+// Setting pause_time = 0, direction = rand[0°,360°), speed =
+// rand[min,max] and move_time = time_step recovers the Random Walk
+// model; other settings yield linear motion, stop-and-go patrols, etc.
+// The package also provides Random Waypoint and a reference-point group
+// model (the paper's §7 "group mobility" future work).
+//
+// Walkers are deterministic functions of their seed: querying positions
+// at monotonically non-decreasing times replays the same trajectory.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/vclock"
+)
+
+// Param is a scalar model parameter: a constant when Min == Max,
+// otherwise a uniform draw from [Min, Max]. This mirrors the paper's
+// "types {constant or random} and values {constant or variation range}"
+// GUI configuration.
+type Param struct {
+	Min, Max float64
+}
+
+// Constant returns a fixed-valued Param.
+func Constant(v float64) Param { return Param{Min: v, Max: v} }
+
+// Uniform returns a Param drawn uniformly from [min, max].
+func Uniform(min, max float64) Param {
+	if max < min {
+		min, max = max, min
+	}
+	return Param{Min: min, Max: max}
+}
+
+// IsConstant reports whether the parameter never varies.
+func (p Param) IsConstant() bool { return p.Min == p.Max }
+
+// Sample draws a value.
+func (p Param) Sample(rng *rand.Rand) float64 {
+	if p.IsConstant() {
+		return p.Min
+	}
+	return p.Min + rng.Float64()*(p.Max-p.Min)
+}
+
+// String implements fmt.Stringer.
+func (p Param) String() string {
+	if p.IsConstant() {
+		return fmt.Sprintf("%g", p.Min)
+	}
+	return fmt.Sprintf("rand[%g,%g]", p.Min, p.Max)
+}
+
+// Boundary selects what happens when a trajectory hits the region edge.
+type Boundary int
+
+const (
+	// Reflect bounces the node off the edge (default).
+	Reflect Boundary = iota
+	// Wrap re-enters from the opposite edge (toroidal region).
+	Wrap
+	// Clamp pins the node at the edge for the rest of the leg.
+	Clamp
+)
+
+// String implements fmt.Stringer.
+func (b Boundary) String() string {
+	switch b {
+	case Reflect:
+		return "reflect"
+	case Wrap:
+		return "wrap"
+	case Clamp:
+		return "clamp"
+	default:
+		return fmt.Sprintf("Boundary(%d)", int(b))
+	}
+}
+
+// Model creates per-node walkers. Implementations must be safe to share
+// across nodes; per-node state lives in the Walker.
+type Model interface {
+	// NewWalker starts a trajectory at `start`, drawing randomness from
+	// rng. The walker owns rng afterwards.
+	NewWalker(start geom.Vec2, rng *rand.Rand) Walker
+}
+
+// Walker is one node's trajectory. Pos must be queried with
+// non-decreasing times; it advances internal legs as time passes. The
+// trajectory is anchored at the time of the first query: a walker first
+// queried at t0 starts moving at t0.
+type Walker interface {
+	// Pos returns the node position at emulation time t.
+	Pos(t vclock.Time) geom.Vec2
+	// Moving reports whether the node is mid-move (vs pausing) at the
+	// time of the last Pos query.
+	Moving() bool
+}
+
+// Static is a Model whose walkers never move. It is the default for
+// nodes placed by hand on the scene (the operator drags them instead).
+type Static struct{}
+
+// NewWalker implements Model.
+func (Static) NewWalker(start geom.Vec2, _ *rand.Rand) Walker {
+	return &staticWalker{pos: start}
+}
+
+type staticWalker struct{ pos geom.Vec2 }
+
+func (w *staticWalker) Pos(vclock.Time) geom.Vec2 { return w.pos }
+func (w *staticWalker) Moving() bool              { return false }
+
+// FourTuple is the paper's generalized mobility model.
+type FourTuple struct {
+	Pause     Param // seconds spent paused between moves
+	Direction Param // degrees; sampled per move leg
+	Speed     Param // units per second
+	MoveTime  Param // seconds per move leg
+	Region    geom.Rect
+	Bound     Boundary
+}
+
+// Validate reports configuration errors (negative durations or speeds,
+// empty region).
+func (m FourTuple) Validate() error {
+	switch {
+	case m.Pause.Min < 0:
+		return fmt.Errorf("mobility: negative pause time %v", m.Pause)
+	case m.Speed.Min < 0:
+		return fmt.Errorf("mobility: negative speed %v", m.Speed)
+	case m.MoveTime.Min <= 0:
+		return fmt.Errorf("mobility: move time must be positive, got %v", m.MoveTime)
+	case m.Region.W() <= 0 || m.Region.H() <= 0:
+		return fmt.Errorf("mobility: empty region %v-%v", m.Region.Min, m.Region.Max)
+	}
+	return nil
+}
+
+// NewWalker implements Model.
+func (m FourTuple) NewWalker(start geom.Vec2, rng *rand.Rand) Walker {
+	return &tupleWalker{
+		model: m,
+		pos:   m.Region.Clamp(start),
+		rng:   rng,
+	}
+}
+
+// tupleWalker alternates pause and move legs. legEnd is the emulation
+// time at which the current leg finishes; within a move leg position is
+// linear in time.
+type tupleWalker struct {
+	model            FourTuple
+	rng              *rand.Rand
+	pos              geom.Vec2 // position at legStart
+	vel              geom.Vec2 // units/second during a move leg, zero when paused
+	moving           bool
+	started          bool
+	legStart, legEnd vclock.Time
+}
+
+func (w *tupleWalker) Moving() bool { return w.moving }
+
+func (w *tupleWalker) Pos(t vclock.Time) geom.Vec2 {
+	if !w.started {
+		w.started = true
+		w.legStart, w.legEnd = t, t
+		w.beginLeg()
+	}
+	for t >= w.legEnd {
+		w.settleLeg()
+		w.beginLeg()
+	}
+	if !w.moving {
+		return w.pos
+	}
+	dt := (t - w.legStart).Sub(0).Seconds()
+	return w.applyBoundary(w.pos.Add(w.vel.Scale(dt)))
+}
+
+// settleLeg finalizes the position at the end of the current leg.
+func (w *tupleWalker) settleLeg() {
+	if w.moving {
+		dt := (w.legEnd - w.legStart).Sub(0).Seconds()
+		w.pos = w.applyBoundary(w.pos.Add(w.vel.Scale(dt)))
+	}
+	w.legStart = w.legEnd
+}
+
+// beginLeg samples the next leg: a pause (if configured) or a move.
+func (w *tupleWalker) beginLeg() {
+	if !w.moving {
+		// We just finished a pause (or are starting): begin a move leg.
+		speed := w.model.Speed.Sample(w.rng)
+		dir := geom.Heading(w.model.Direction.Sample(w.rng))
+		w.vel = dir.Scale(speed)
+		dur := w.model.MoveTime.Sample(w.rng)
+		w.legEnd = w.legStart + vclock.FromSeconds(dur)
+		w.moving = true
+		return
+	}
+	// We just finished a move: pause if pause time can be non-zero.
+	pause := w.model.Pause.Sample(w.rng)
+	if pause > 0 {
+		w.vel = geom.Vec2{}
+		w.legEnd = w.legStart + vclock.FromSeconds(pause)
+		w.moving = false
+		return
+	}
+	// Zero pause: chain straight into the next move leg.
+	w.moving = false
+	w.beginLeg()
+}
+
+func (w *tupleWalker) applyBoundary(p geom.Vec2) geom.Vec2 {
+	r := w.model.Region
+	if r.Contains(p) {
+		return p
+	}
+	switch w.model.Bound {
+	case Wrap:
+		return r.Wrap(p)
+	case Clamp:
+		return r.Clamp(p)
+	default:
+		// Positions inside a leg are recomputed from the leg origin on
+		// every query, so the fold must be pure: reflect the position
+		// only. Direction is resampled at the next leg anyway.
+		q, _ := r.Reflect(p, w.vel)
+		return q
+	}
+}

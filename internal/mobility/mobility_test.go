@@ -1,0 +1,307 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/vclock"
+)
+
+var region = geom.R(0, 0, 1000, 1000)
+
+func TestParam(t *testing.T) {
+	c := Constant(5)
+	if !c.IsConstant() || c.Sample(nil) != 5 {
+		t.Error("Constant")
+	}
+	u := Uniform(10, 2) // swapped bounds normalize
+	if u.Min != 2 || u.Max != 10 {
+		t.Error("Uniform normalization")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		v := u.Sample(rng)
+		if v < 2 || v > 10 {
+			t.Fatalf("Sample out of range: %v", v)
+		}
+	}
+	if Constant(3).String() != "3" {
+		t.Errorf("String: %q", Constant(3).String())
+	}
+	if Uniform(1, 2).String() != "rand[1,2]" {
+		t.Errorf("String: %q", Uniform(1, 2).String())
+	}
+}
+
+func TestBoundaryString(t *testing.T) {
+	if Reflect.String() != "reflect" || Wrap.String() != "wrap" || Clamp.String() != "clamp" {
+		t.Error("Boundary strings")
+	}
+	if Boundary(9).String() != "Boundary(9)" {
+		t.Error("unknown boundary string")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	w := Static{}.NewWalker(geom.V(5, 7), nil)
+	for _, s := range []float64{0, 1, 100} {
+		if got := w.Pos(vclock.FromSeconds(s)); got != geom.V(5, 7) {
+			t.Errorf("static moved to %v", got)
+		}
+	}
+	if w.Moving() {
+		t.Error("static reports moving")
+	}
+}
+
+func TestFourTupleValidate(t *testing.T) {
+	good := RandomWalk(1, 5, 2, region)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []FourTuple{
+		{Pause: Constant(-1), Speed: Constant(1), MoveTime: Constant(1), Region: region},
+		{Pause: Constant(0), Speed: Constant(-2), MoveTime: Constant(1), Region: region},
+		{Pause: Constant(0), Speed: Constant(1), MoveTime: Constant(0), Region: region},
+		{Pause: Constant(0), Speed: Constant(1), MoveTime: Constant(1), Region: geom.R(0, 0, 0, 0)},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+// Linear motion reproduces the paper's Figure 10 relay movement:
+// direction 90°, speed 10 units/s → +Y at 10 u/s.
+func TestLinearMotion(t *testing.T) {
+	m := Linear(90, 10, region)
+	w := m.NewWalker(geom.V(100, 100), rand.New(rand.NewSource(1)))
+	p0 := w.Pos(0)
+	if p0 != geom.V(100, 100) {
+		t.Fatalf("start: %v", p0)
+	}
+	p5 := w.Pos(vclock.FromSeconds(5))
+	if math.Abs(p5.X-100) > 1e-6 || math.Abs(p5.Y-150) > 1e-6 {
+		t.Errorf("t=5s: %v, want (100,150)", p5)
+	}
+	p30 := w.Pos(vclock.FromSeconds(30))
+	if math.Abs(p30.Y-400) > 1e-6 {
+		t.Errorf("t=30s: %v, want y=400", p30)
+	}
+	if !w.Moving() {
+		t.Error("linear walker not moving")
+	}
+}
+
+func TestLinearClampsAtEdge(t *testing.T) {
+	m := Linear(0, 100, geom.R(0, 0, 500, 500)) // east at 100 u/s
+	w := m.NewWalker(geom.V(0, 250), rand.New(rand.NewSource(1)))
+	w.Pos(0)                           // anchor the trajectory at t=0
+	p := w.Pos(vclock.FromSeconds(20)) // would be x=2000
+	if p.X != 500 || p.Y != 250 {
+		t.Errorf("clamped pos: %v", p)
+	}
+}
+
+// The formula check: x(t+Δ) = x + v·Δ·cosθ, y likewise (paper §4.3.1).
+func TestFourTupleFormula(t *testing.T) {
+	theta := 30.0
+	v := 7.0
+	m := FourTuple{
+		Pause:     Constant(0),
+		Direction: Constant(theta),
+		Speed:     Constant(v),
+		MoveTime:  Constant(1000),
+		Region:    geom.R(-1e6, -1e6, 1e6, 1e6),
+	}
+	w := m.NewWalker(geom.V(0, 0), rand.New(rand.NewSource(1)))
+	w.Pos(0)
+	dt := 13.0
+	p := w.Pos(vclock.FromSeconds(dt))
+	wantX := v * dt * math.Cos(theta*math.Pi/180)
+	wantY := v * dt * math.Sin(theta*math.Pi/180)
+	if math.Abs(p.X-wantX) > 1e-6 || math.Abs(p.Y-wantY) > 1e-6 {
+		t.Errorf("formula: got %v, want (%v,%v)", p, wantX, wantY)
+	}
+}
+
+func TestRandomWalkStaysInRegion(t *testing.T) {
+	m := RandomWalk(1, 20, 2, region)
+	rng := rand.New(rand.NewSource(99))
+	w := m.NewWalker(geom.V(500, 500), rng)
+	for s := 0.0; s < 2000; s += 0.5 {
+		p := w.Pos(vclock.FromSeconds(s))
+		if !region.Contains(p) {
+			t.Fatalf("left region at t=%vs: %v", s, p)
+		}
+	}
+}
+
+func TestRandomWalkSpeedBound(t *testing.T) {
+	const minS, maxS = 2.0, 8.0
+	m := RandomWalk(minS, maxS, 1, geom.R(-1e9, -1e9, 1e9, 1e9))
+	w := m.NewWalker(geom.V(0, 0), rand.New(rand.NewSource(5)))
+	prev := w.Pos(0)
+	for s := 0.25; s < 500; s += 0.25 {
+		p := w.Pos(vclock.FromSeconds(s))
+		speed := p.Dist(prev) / 0.25
+		// Within a leg, speed is within the configured band; across leg
+		// boundaries the average can only be lower.
+		if speed > maxS+1e-6 {
+			t.Fatalf("speed %v exceeds max %v at t=%v", speed, maxS, s)
+		}
+		prev = p
+	}
+}
+
+func TestStopAndGoPauses(t *testing.T) {
+	m := StopAndGo(10, 2, 3, region) // move 2s, pause 3s
+	w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(3)))
+	w.Pos(0)
+	if !w.Moving() {
+		t.Error("should start moving")
+	}
+	w.Pos(vclock.FromSeconds(2.5)) // inside first pause
+	if w.Moving() {
+		t.Error("should be paused at t=2.5")
+	}
+	a := w.Pos(vclock.FromSeconds(3.0))
+	b := w.Pos(vclock.FromSeconds(4.9))
+	if a != b {
+		t.Errorf("moved during pause: %v vs %v", a, b)
+	}
+	w.Pos(vclock.FromSeconds(5.5)) // second move leg
+	if !w.Moving() {
+		t.Error("should be moving at t=5.5")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	m := RandomWalk(1, 10, 2, region)
+	run := func() []geom.Vec2 {
+		w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(42)))
+		var pts []geom.Vec2
+		for s := 0.0; s < 100; s += 1 {
+			pts = append(pts, w.Pos(vclock.FromSeconds(s)))
+		}
+		return pts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectory diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWaypointReachesDestinations(t *testing.T) {
+	m := Waypoint{MinSpeed: 5, MaxSpeed: 15, Pause: Constant(1), Region: region}
+	rng := rand.New(rand.NewSource(11))
+	w := m.NewWalker(geom.V(500, 500), rng)
+	moves, pauses := 0, 0
+	for s := 0.0; s < 1000; s += 0.5 {
+		p := w.Pos(vclock.FromSeconds(s))
+		if !region.Contains(p) {
+			t.Fatalf("waypoint left region: %v", p)
+		}
+		if w.Moving() {
+			moves++
+		} else {
+			pauses++
+		}
+	}
+	if moves == 0 || pauses == 0 {
+		t.Errorf("expected both moving and paused samples: %d/%d", moves, pauses)
+	}
+}
+
+func TestWaypointSpeedWithinBand(t *testing.T) {
+	m := Waypoint{MinSpeed: 5, MaxSpeed: 15, Pause: Constant(0), Region: region}
+	w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(2)))
+	prev := w.Pos(0)
+	for s := 0.1; s < 200; s += 0.1 {
+		p := w.Pos(vclock.FromSeconds(s))
+		speed := p.Dist(prev) / 0.1
+		if speed > 15+1e-6 {
+			t.Fatalf("speed %v above max at t=%v", speed, s)
+		}
+		prev = p
+	}
+}
+
+func TestWaypointZeroPauseChains(t *testing.T) {
+	m := Waypoint{MinSpeed: 50, MaxSpeed: 50, Pause: Constant(0), Region: geom.R(0, 0, 100, 100)}
+	w := m.NewWalker(geom.V(50, 50), rand.New(rand.NewSource(4)))
+	// With zero pause and a tiny region the walker crosses many
+	// waypoints; it must keep going without stalling.
+	last := w.Pos(0)
+	stalled := 0
+	for s := 1.0; s < 60; s += 1 {
+		p := w.Pos(vclock.FromSeconds(s))
+		if p == last {
+			stalled++
+		}
+		last = p
+	}
+	if stalled > 5 {
+		t.Errorf("walker stalled %d times", stalled)
+	}
+}
+
+func TestGroupMembersFollowLeader(t *testing.T) {
+	leaderModel := Linear(0, 10, geom.R(0, 0, 1e5, 1e5)) // east at 10
+	g := NewGroup(leaderModel, geom.V(0, 500), 25, 5, rand.New(rand.NewSource(1)))
+	m1 := g.Member(rand.New(rand.NewSource(2)))
+	m2 := g.Member(rand.New(rand.NewSource(3)))
+	for s := 0.0; s < 100; s += 1 {
+		t1 := vclock.FromSeconds(s)
+		ref := g.Reference().Pos(t1)
+		p1, p2 := m1.Pos(t1), m2.Pos(t1)
+		if p1.Dist(ref) > 25+1e-6 {
+			t.Fatalf("member 1 strayed %v from reference", p1.Dist(ref))
+		}
+		if p2.Dist(ref) > 25+1e-6 {
+			t.Fatalf("member 2 strayed %v from reference", p2.Dist(ref))
+		}
+	}
+	// Members advance with the leader: average x should grow.
+	if m1.Pos(vclock.FromSeconds(100)).X < 500 {
+		t.Error("member did not advance with the leader")
+	}
+}
+
+func TestGroupOffsetsResample(t *testing.T) {
+	g := NewGroup(Static{}, geom.V(0, 0), 50, 1, rand.New(rand.NewSource(1)))
+	m := g.Member(rand.New(rand.NewSource(9)))
+	a := m.Pos(0)
+	b := m.Pos(vclock.FromSeconds(10)) // well past resample interval
+	if a == b {
+		t.Error("member offset never resampled")
+	}
+}
+
+func TestWalkerMonotoneQueryTolerance(t *testing.T) {
+	// Repeated queries at the same instant must return the same point.
+	m := RandomWalk(1, 5, 1, region)
+	w := m.NewWalker(geom.V(100, 100), rand.New(rand.NewSource(6)))
+	tt := vclock.FromSeconds(3)
+	if w.Pos(tt) != w.Pos(tt) {
+		t.Error("same-time queries differ")
+	}
+}
+
+func BenchmarkRandomWalkStep(b *testing.B) {
+	m := RandomWalk(1, 10, 2, region)
+	w := m.NewWalker(geom.V(500, 500), rand.New(rand.NewSource(1)))
+	step := vclock.FromDuration(100 * time.Millisecond)
+	t := vclock.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t += step
+		w.Pos(t)
+	}
+}

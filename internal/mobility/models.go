@@ -1,0 +1,194 @@
+package mobility
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/vclock"
+)
+
+// RandomWalk returns the paper's Random Walk specialization of the
+// 4-tuple model (§4.3.1):
+//
+//	pause_time = 0
+//	direction  = rand[0°,360°)
+//	move_speed = rand[minSpeed, maxSpeed]
+//	move_time  = timeStep
+func RandomWalk(minSpeed, maxSpeed, timeStepSeconds float64, region geom.Rect) FourTuple {
+	return FourTuple{
+		Pause:     Constant(0),
+		Direction: Uniform(0, 360),
+		Speed:     Uniform(minSpeed, maxSpeed),
+		MoveTime:  Constant(timeStepSeconds),
+		Region:    region,
+		Bound:     Reflect,
+	}
+}
+
+// Linear returns a constant-velocity specialization: the node moves
+// forever in one direction at one speed. Figure 10's relay VMN2 uses
+// Linear(90°, 10 u/s) — "moves at the speed of 10 (unit)/s downwards".
+func Linear(directionDeg, speed float64, region geom.Rect) FourTuple {
+	return FourTuple{
+		Pause:     Constant(0),
+		Direction: Constant(directionDeg),
+		Speed:     Constant(speed),
+		MoveTime:  Constant(3600), // one long leg; renewed if exceeded
+		Region:    region,
+		Bound:     Clamp,
+	}
+}
+
+// StopAndGo returns a patrol-like specialization: move a fixed time,
+// pause a fixed time, with random headings.
+func StopAndGo(speed, moveSeconds, pauseSeconds float64, region geom.Rect) FourTuple {
+	return FourTuple{
+		Pause:     Constant(pauseSeconds),
+		Direction: Uniform(0, 360),
+		Speed:     Constant(speed),
+		MoveTime:  Constant(moveSeconds),
+		Region:    region,
+		Bound:     Reflect,
+	}
+}
+
+// Waypoint is the Random Waypoint model from the mobility survey the
+// paper cites ([11] Camp et al.): pick a uniformly random destination
+// in the region, travel to it at a uniformly random speed, pause, and
+// repeat. Unlike the 4-tuple family it is destination- rather than
+// direction-driven, so it gets its own walker.
+type Waypoint struct {
+	MinSpeed, MaxSpeed float64 // units/second, MinSpeed > 0
+	Pause              Param   // seconds at each waypoint
+	Region             geom.Rect
+}
+
+// NewWalker implements Model.
+func (m Waypoint) NewWalker(start geom.Vec2, rng *rand.Rand) Walker {
+	return &waypointWalker{model: m, pos: m.Region.Clamp(start), rng: rng}
+}
+
+type waypointWalker struct {
+	model    Waypoint
+	rng      *rand.Rand
+	pos      geom.Vec2 // position at legStart
+	dest     geom.Vec2
+	vel      geom.Vec2
+	moving   bool
+	started  bool
+	legStart vclock.Time
+	legEnd   vclock.Time
+}
+
+func (w *waypointWalker) Moving() bool { return w.moving }
+
+func (w *waypointWalker) Pos(t vclock.Time) geom.Vec2 {
+	if !w.started {
+		w.started = true
+		w.legStart, w.legEnd = t, t
+		w.beginLeg()
+	}
+	for t >= w.legEnd {
+		if w.moving {
+			w.pos = w.dest
+		}
+		w.legStart = w.legEnd
+		w.beginLeg()
+	}
+	if !w.moving {
+		return w.pos
+	}
+	dt := (t - w.legStart).Sub(0).Seconds()
+	return w.pos.Add(w.vel.Scale(dt))
+}
+
+func (w *waypointWalker) beginLeg() {
+	if w.moving {
+		// Arrived: pause.
+		w.moving = false
+		pause := w.model.Pause.Sample(w.rng)
+		if pause > 0 {
+			w.legEnd = w.legStart + vclock.FromSeconds(pause)
+			return
+		}
+		// Zero pause: fall through to the next travel leg.
+	}
+	r := w.model.Region
+	w.dest = geom.V(
+		r.Min.X+w.rng.Float64()*r.W(),
+		r.Min.Y+w.rng.Float64()*r.H(),
+	)
+	speed := w.model.MinSpeed
+	if w.model.MaxSpeed > w.model.MinSpeed {
+		speed += w.rng.Float64() * (w.model.MaxSpeed - w.model.MinSpeed)
+	}
+	if speed <= 0 {
+		speed = 1e-9 // degenerate configuration: creep rather than divide by zero
+	}
+	dist := w.pos.Dist(w.dest)
+	if dist == 0 {
+		// Already there; retry next query with a fresh destination.
+		w.moving = true
+		w.vel = geom.Vec2{}
+		w.legEnd = w.legStart + 1
+		return
+	}
+	w.vel = w.dest.Sub(w.pos).Norm().Scale(speed)
+	w.moving = true
+	w.legEnd = w.legStart + vclock.FromSeconds(dist/speed)
+}
+
+// Group implements reference-point group mobility (RPGM), listed in the
+// paper's §7 future work ("group mobility"). A shared reference point
+// follows the Leader model; each member walker tracks the reference
+// point plus a bounded random local offset resampled over time.
+type Group struct {
+	Spread float64 // max distance of a member from the reference point
+	// ResampleSeconds is how often a member picks a new local offset.
+	ResampleSeconds float64
+
+	ref Walker // shared reference-point walker
+}
+
+// NewGroup builds a Group around a shared leader walker. All members
+// returned by Member follow the same reference trajectory. The leader
+// walker is advanced by member queries, so members must be queried with
+// globally non-decreasing times (the scene ticker guarantees this).
+func NewGroup(leader Model, start geom.Vec2, spread, resampleSeconds float64, rng *rand.Rand) *Group {
+	return &Group{
+		Spread:          spread,
+		ResampleSeconds: resampleSeconds,
+		ref:             leader.NewWalker(start, rng),
+	}
+}
+
+// Reference returns the shared reference-point walker, mainly for
+// tests and visualization.
+func (g *Group) Reference() Walker { return g.ref }
+
+// Member returns a walker for one group member.
+func (g *Group) Member(rng *rand.Rand) Walker {
+	return &groupWalker{group: g, rng: rng}
+}
+
+type groupWalker struct {
+	group      *Group
+	rng        *rand.Rand
+	offset     geom.Vec2
+	nextSample vclock.Time
+	init       bool
+}
+
+func (w *groupWalker) Moving() bool { return true }
+
+func (w *groupWalker) Pos(t vclock.Time) geom.Vec2 {
+	if !w.init || t >= w.nextSample {
+		w.init = true
+		// Uniform offset in a disc of radius Spread.
+		ang := w.rng.Float64() * 360
+		rad := w.group.Spread * w.rng.Float64()
+		w.offset = geom.Heading(ang).Scale(rad)
+		w.nextSample = t + vclock.FromSeconds(w.group.ResampleSeconds)
+	}
+	return w.group.ref.Pos(t).Add(w.offset)
+}

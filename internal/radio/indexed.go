@@ -1,0 +1,300 @@
+package radio
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// IndexedTables is the paper's channel-ID-indexed neighbor-table scheme
+// (§4.2, Figure 6): one independent table per channel. A scene change
+// involving node A only touches the tables of channels in CS(A) — e.g.
+// node a on channel 2 never perturbs channel 1's table unless it
+// switches a radio there — which is exactly the update-efficiency claim
+// benchmarked in E7.
+//
+// Edges are directional: B ∈ NT(A,k) ⇔ D(A,B) ≤ R(A,k). With uniform
+// ranges the relation is symmetric (a property test checks this).
+type IndexedTables struct {
+	nodes map[NodeID]*Node
+	chans map[ChannelID]*channelTable
+	cost  uint64
+	// gridCell sizes each channel's spatial index; see NewIndexed.
+	gridCell float64
+}
+
+// channelTable is NT(·,k) for one channel k.
+type channelTable struct {
+	members map[NodeID]*Node
+	grid    *geom.Grid
+	// nbrs[A][B] = D(A,B) for every B ∈ NT(A,k).
+	nbrs map[NodeID]map[NodeID]float64
+	// rev[B] = set of A with B ∈ NT(A,k); lets a move of B fix up the
+	// rows of exactly the nodes that referenced it.
+	rev map[NodeID]map[NodeID]struct{}
+	// maxRange is the largest R(·,k) among members, bounding the
+	// candidate search radius for reverse edges.
+	maxRange float64
+}
+
+// NewIndexed returns an empty IndexedTables. gridCell is the spatial
+// index cell size; pass roughly the typical radio range (a non-positive
+// value selects a reasonable default).
+func NewIndexed(gridCell float64) *IndexedTables {
+	if gridCell <= 0 {
+		gridCell = 250
+	}
+	return &IndexedTables{
+		nodes:    make(map[NodeID]*Node),
+		chans:    make(map[ChannelID]*channelTable),
+		gridCell: gridCell,
+	}
+}
+
+func (t *IndexedTables) channel(ch ChannelID) *channelTable {
+	ct := t.chans[ch]
+	if ct == nil {
+		ct = &channelTable{
+			members: make(map[NodeID]*Node),
+			grid:    geom.NewGrid(t.gridCell),
+			nbrs:    make(map[NodeID]map[NodeID]float64),
+			rev:     make(map[NodeID]map[NodeID]struct{}),
+		}
+		t.chans[ch] = ct
+	}
+	return ct
+}
+
+// AddNode implements NeighborTable.
+func (t *IndexedTables) AddNode(n *Node) {
+	if _, dup := t.nodes[n.ID]; dup {
+		panic(fmt.Sprintf("radio: duplicate node %v", n.ID))
+	}
+	cp := *n
+	cp.Radios = append([]Radio(nil), n.Radios...)
+	t.nodes[cp.ID] = &cp
+	for _, ch := range cp.Channels() {
+		t.joinChannel(&cp, ch)
+	}
+}
+
+// joinChannel inserts the node into channel ch's table and computes
+// both edge directions against current members.
+func (t *IndexedTables) joinChannel(n *Node, ch ChannelID) {
+	ct := t.channel(ch)
+	ct.members[n.ID] = n
+	ct.grid.Put(int64(n.ID), n.Pos)
+	if r, ok := n.RangeOn(ch); ok && r > ct.maxRange {
+		ct.maxRange = r
+	}
+	ct.nbrs[n.ID] = make(map[NodeID]float64)
+	ct.rev[n.ID] = make(map[NodeID]struct{})
+	t.recomputeRow(ct, ch, n)
+	t.recomputeColumn(ct, ch, n)
+}
+
+// leaveChannel removes the node and all edges touching it from ch.
+func (t *IndexedTables) leaveChannel(ct *channelTable, ch ChannelID, id NodeID) {
+	for b := range ct.nbrs[id] {
+		delete(ct.rev[b], id)
+		t.cost++
+	}
+	delete(ct.nbrs, id)
+	for a := range ct.rev[id] {
+		delete(ct.nbrs[a], id)
+		t.cost++
+	}
+	delete(ct.rev, id)
+	delete(ct.members, id)
+	ct.grid.Remove(int64(id))
+	// maxRange may shrink; recompute lazily only when it was set by us.
+	t.refreshMaxRange(ct, ch)
+}
+
+func (t *IndexedTables) refreshMaxRange(ct *channelTable, ch ChannelID) {
+	ct.maxRange = 0
+	for _, m := range ct.members {
+		if r, ok := m.RangeOn(ch); ok && r > ct.maxRange {
+			ct.maxRange = r
+		}
+	}
+}
+
+// recomputeRow rebuilds NT(n, ch) — the edges n → B.
+func (t *IndexedTables) recomputeRow(ct *channelTable, ch ChannelID, n *Node) {
+	row := ct.nbrs[n.ID]
+	for b := range row {
+		delete(ct.rev[b], n.ID)
+		delete(row, b)
+		t.cost++
+	}
+	r, ok := n.RangeOn(ch)
+	if !ok {
+		return
+	}
+	ct.grid.Within(n.Pos, r, int64(n.ID), func(key int64, _ geom.Vec2) {
+		b := ct.members[NodeID(key)]
+		if b == nil {
+			return
+		}
+		row[b.ID] = n.Pos.Dist(b.Pos)
+		ct.rev[b.ID][n.ID] = struct{}{}
+		t.cost++
+	})
+}
+
+// recomputeColumn rebuilds the edges B → n for every member B that can
+// now (or could previously) reach n.
+func (t *IndexedTables) recomputeColumn(ct *channelTable, ch ChannelID, n *Node) {
+	// Drop stale reverse edges.
+	for a := range ct.rev[n.ID] {
+		an := ct.members[a]
+		if an == nil {
+			continue
+		}
+		if _, ok := reaches(an, n, ch); !ok {
+			delete(ct.nbrs[a], n.ID)
+			delete(ct.rev[n.ID], a)
+			t.cost++
+		} else {
+			ct.nbrs[a][n.ID] = an.Pos.Dist(n.Pos)
+			t.cost++
+		}
+	}
+	// Add new reverse edges from candidates within the channel's max
+	// range of n's position.
+	ct.grid.Within(n.Pos, ct.maxRange, int64(n.ID), func(key int64, _ geom.Vec2) {
+		a := ct.members[NodeID(key)]
+		if a == nil {
+			return
+		}
+		if _, already := ct.nbrs[a.ID][n.ID]; already {
+			return
+		}
+		if d, ok := reaches(a, n, ch); ok {
+			ct.nbrs[a.ID][n.ID] = d
+			ct.rev[n.ID][a.ID] = struct{}{}
+			t.cost++
+		}
+	})
+}
+
+// RemoveNode implements NeighborTable.
+func (t *IndexedTables) RemoveNode(id NodeID) {
+	n := t.nodes[id]
+	if n == nil {
+		return
+	}
+	for _, ch := range n.Channels() {
+		if ct := t.chans[ch]; ct != nil {
+			t.leaveChannel(ct, ch, id)
+		}
+	}
+	delete(t.nodes, id)
+}
+
+// Move implements NeighborTable. Only the tables of channels in CS(id)
+// are touched — the heart of the paper's scheme.
+func (t *IndexedTables) Move(id NodeID, pos geom.Vec2) {
+	n := t.nodes[id]
+	if n == nil {
+		return
+	}
+	n.Pos = pos
+	for _, ch := range n.Channels() {
+		ct := t.channel(ch)
+		ct.grid.Put(int64(id), pos)
+		t.recomputeRow(ct, ch, n)
+		t.recomputeColumn(ct, ch, n)
+	}
+}
+
+// SetRadios implements NeighborTable. It diffs the channel sets so that
+// unchanged channels are only touched when the range on them changed.
+func (t *IndexedTables) SetRadios(id NodeID, radios []Radio) {
+	n := t.nodes[id]
+	if n == nil {
+		return
+	}
+	oldChans := make(map[ChannelID]float64)
+	for _, ch := range n.Channels() {
+		r, _ := n.RangeOn(ch)
+		oldChans[ch] = r
+	}
+	n.Radios = append(n.Radios[:0], radios...)
+	newChans := make(map[ChannelID]float64)
+	for _, ch := range n.Channels() {
+		r, _ := n.RangeOn(ch)
+		newChans[ch] = r
+	}
+	for ch := range oldChans {
+		if _, still := newChans[ch]; !still {
+			t.leaveChannel(t.channel(ch), ch, id) // left this channel
+		}
+	}
+	for ch, r := range newChans {
+		oldR, had := oldChans[ch]
+		switch {
+		case !had:
+			t.joinChannel(n, ch)
+		case oldR != r:
+			// Range change on an existing channel: the node's own row
+			// changes; other rows only if maxRange grew (new candidates
+			// cannot appear for them — D and their R are unchanged).
+			ct := t.channel(ch)
+			if r > ct.maxRange {
+				ct.maxRange = r
+			} else {
+				t.refreshMaxRange(ct, ch)
+			}
+			t.recomputeRow(ct, ch, n)
+		}
+	}
+}
+
+// Neighbors implements NeighborTable.
+func (t *IndexedTables) Neighbors(id NodeID, ch ChannelID) []Neighbor {
+	ct := t.chans[ch]
+	if ct == nil {
+		return nil
+	}
+	row := ct.nbrs[id]
+	out := make([]Neighbor, 0, len(row))
+	for b, d := range row {
+		out = append(out, Neighbor{ID: b, Dist: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Node implements NeighborTable.
+func (t *IndexedTables) Node(id NodeID) (Node, bool) {
+	n := t.nodes[id]
+	if n == nil {
+		return Node{}, false
+	}
+	cp := *n
+	cp.Radios = append([]Radio(nil), n.Radios...)
+	return cp, true
+}
+
+// NodeSet implements NeighborTable.
+func (t *IndexedTables) NodeSet(ch ChannelID) []NodeID {
+	ct := t.chans[ch]
+	if ct == nil {
+		return nil
+	}
+	out := make([]NodeID, 0, len(ct.members))
+	for id := range ct.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len implements NeighborTable.
+func (t *IndexedTables) Len() int { return len(t.nodes) }
+
+// UpdateCost implements NeighborTable.
+func (t *IndexedTables) UpdateCost() uint64 { return t.cost }

@@ -1,0 +1,42 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the snapshot loader: it must never
+// panic nor over-allocate, and anything it accepts must survive a
+// save/load round trip.
+func FuzzLoad(f *testing.F) {
+	// Seed with a real snapshot.
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.AddPacket(samplePacket(i))
+	}
+	s.AddScene(Scene{At: 1, Node: 2, Op: "move", Detail: "d", X: 3, Y: 4})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PoEm"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Save(&out); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+		again, err := Load(&out)
+		if err != nil {
+			t.Fatalf("re-load failed: %v", err)
+		}
+		if again.PacketCount() != got.PacketCount() || again.SceneCount() != got.SceneCount() {
+			t.Fatal("round trip changed counts")
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package render_test
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/render"
+)
+
+// A tiny scene rendered as the GUI-substitute ASCII frame.
+func ExampleFrame() {
+	out := render.Frame([]render.Mark{
+		{ID: 1, Pos: geom.V(0, 0)},
+		{ID: 2, Pos: geom.V(90, 40), Note: "(mobile)"},
+	}, geom.R(0, 0, 100, 50), 20, 5)
+	fmt.Print(out)
+	// Output:
+	// +--------------------+
+	// |1                   |
+	// |                    |
+	// |                    |
+	// |                 2  |
+	// |                    |
+	// +--------------------+
+	//   1 @ (0.00,0.00)
+	//   2 @ (90.00,40.00) (mobile)
+}

@@ -1,0 +1,102 @@
+// Package render draws emulation scenes as ASCII frames — the headless
+// stand-in for the paper's GUI canvas. The same function serves the
+// live view (poemctl show) and post-emulation replay.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Mark is one node to draw.
+type Mark struct {
+	ID    uint32
+	Pos   geom.Vec2
+	Label string // defaults to the ID
+	Note  string // appended to the legend line
+}
+
+// Frame renders marks into a w×h character canvas covering region,
+// followed by a legend line per node. Nodes outside the region are
+// clamped to the border and flagged in the legend.
+func Frame(marks []Mark, region geom.Rect, w, h int) string {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", w))
+	}
+	sorted := append([]Mark(nil), marks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	var legend strings.Builder
+	for _, m := range sorted {
+		label := m.Label
+		if label == "" {
+			label = fmt.Sprintf("%d", m.ID)
+		}
+		outside := !region.Contains(m.Pos)
+		p := region.Clamp(m.Pos)
+		cx, cy := cell(p, region, w, h)
+		for i := 0; i < len(label) && cx+i < w; i++ {
+			grid[cy][cx+i] = label[i]
+		}
+		fmt.Fprintf(&legend, "  %s @ %s", label, m.Pos)
+		if m.Note != "" {
+			fmt.Fprintf(&legend, " %s", m.Note)
+		}
+		if outside {
+			legend.WriteString(" [outside]")
+		}
+		legend.WriteByte('\n')
+	}
+
+	var b strings.Builder
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteString("+\n")
+	for y := 0; y < h; y++ {
+		b.WriteByte('|')
+		b.Write(grid[y])
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteString("+\n")
+	b.WriteString(legend.String())
+	return b.String()
+}
+
+// cell maps a position to grid coordinates.
+func cell(p geom.Vec2, region geom.Rect, w, h int) (int, int) {
+	fx := 0.0
+	if region.W() > 0 {
+		fx = (p.X - region.Min.X) / region.W()
+	}
+	fy := 0.0
+	if region.H() > 0 {
+		fy = (p.Y - region.Min.Y) / region.H()
+	}
+	cx := int(fx * float64(w-1))
+	cy := int(fy * float64(h-1))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= w {
+		cx = w - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= h {
+		cy = h - 1
+	}
+	return cx, cy
+}

@@ -1,0 +1,71 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFrameContainsNodes(t *testing.T) {
+	out := Frame([]Mark{
+		{ID: 1, Pos: geom.V(0, 0)},
+		{ID: 2, Pos: geom.V(100, 100)},
+	}, geom.R(0, 0, 100, 100), 20, 10)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Errorf("nodes missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "+--") {
+		t.Errorf("no border:\n%s", out)
+	}
+	// Node 1 at the region min lands in the first canvas row.
+	if !strings.Contains(lines[1], "1") {
+		t.Errorf("node 1 not top-left:\n%s", out)
+	}
+}
+
+func TestFrameLegend(t *testing.T) {
+	out := Frame([]Mark{
+		{ID: 7, Pos: geom.V(50, 50), Note: "mobile"},
+	}, geom.R(0, 0, 100, 100), 20, 10)
+	if !strings.Contains(out, "7 @ (50.00,50.00) mobile") {
+		t.Errorf("legend:\n%s", out)
+	}
+}
+
+func TestFrameOutsideClampedAndFlagged(t *testing.T) {
+	out := Frame([]Mark{
+		{ID: 3, Pos: geom.V(500, 500)},
+	}, geom.R(0, 0, 100, 100), 20, 10)
+	if !strings.Contains(out, "[outside]") {
+		t.Errorf("outside flag missing:\n%s", out)
+	}
+}
+
+func TestFrameCustomLabel(t *testing.T) {
+	out := Frame([]Mark{{ID: 1, Pos: geom.V(10, 10), Label: "HQ"}}, geom.R(0, 0, 100, 100), 30, 10)
+	if !strings.Contains(out, "HQ") {
+		t.Errorf("label missing:\n%s", out)
+	}
+}
+
+func TestFrameMinimumDimensions(t *testing.T) {
+	out := Frame(nil, geom.R(0, 0, 10, 10), 1, 1)
+	if len(out) == 0 {
+		t.Error("empty frame")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 4 rows minimum + 2 borders.
+	if len(lines) < 6 {
+		t.Errorf("frame too small: %d lines", len(lines))
+	}
+}
+
+func TestDegenerateRegion(t *testing.T) {
+	// A zero-area region must not divide by zero.
+	out := Frame([]Mark{{ID: 1, Pos: geom.V(5, 5)}}, geom.R(5, 5, 5, 5), 10, 5)
+	if !strings.Contains(out, "1") {
+		t.Errorf("degenerate region:\n%s", out)
+	}
+}

@@ -1,0 +1,126 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/vclock"
+)
+
+// demoStore records a small scripted run: two nodes added, one moves
+// twice, one removed, with a few packets.
+func demoStore() *record.Store {
+	st := record.NewStore()
+	at := func(s float64) vclock.Time { return vclock.FromSeconds(s) }
+	st.AddScene(record.Scene{At: at(0), Node: 1, Op: "add", X: 10, Y: 10})
+	st.AddScene(record.Scene{At: at(0), Node: 2, Op: "add", X: 90, Y: 10})
+	st.AddScene(record.Scene{At: at(2), Node: 2, Op: "move", X: 90, Y: 50})
+	st.AddScene(record.Scene{At: at(4), Node: 2, Op: "move", X: 90, Y: 90})
+	st.AddScene(record.Scene{At: at(5), Node: 1, Op: "remove"})
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: at(1), Src: 1, Dst: 2, Seq: 1})
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: at(1.2), Src: 1, Dst: 2, Relay: 2, Seq: 1})
+	st.AddPacket(record.Packet{Kind: record.PacketDrop, At: at(3), Src: 1, Dst: 2, Relay: 2, Seq: 2})
+	return st
+}
+
+func TestStateAtFoldsEvents(t *testing.T) {
+	r := New(demoStore())
+	s0 := r.StateAt(vclock.FromSeconds(0))
+	if len(s0) != 2 {
+		t.Fatalf("t=0: %+v", s0)
+	}
+	if s0[1].Pos.Y != 10 {
+		t.Errorf("node 2 initial: %+v", s0[1])
+	}
+	s3 := r.StateAt(vclock.FromSeconds(3))
+	if s3[1].Pos.Y != 50 || s3[1].LastOp != "move" {
+		t.Errorf("t=3: %+v", s3[1])
+	}
+	s6 := r.StateAt(vclock.FromSeconds(6))
+	if len(s6) != 1 || s6[0].ID != 2 || s6[0].Pos.Y != 90 {
+		t.Errorf("t=6: %+v", s6)
+	}
+}
+
+func TestSpanAndRegion(t *testing.T) {
+	r := New(demoStore())
+	from, to := r.Span()
+	if from != 0 || to != vclock.FromSeconds(5) {
+		t.Errorf("span %v..%v", from, to)
+	}
+	reg := r.Region()
+	if !reg.Contains(vec(10, 10)) || !reg.Contains(vec(90, 90)) {
+		t.Errorf("region %v..%v misses positions", reg.Min, reg.Max)
+	}
+}
+
+func TestEmptyStoreRegion(t *testing.T) {
+	r := New(record.NewStore())
+	reg := r.Region()
+	if reg.W() <= 0 || reg.H() <= 0 {
+		t.Error("empty recording region degenerate")
+	}
+	if got := r.StateAt(0); len(got) != 0 {
+		t.Errorf("ghost nodes: %+v", got)
+	}
+}
+
+func TestFrameAt(t *testing.T) {
+	r := New(demoStore())
+	frame := r.FrameAt(vclock.FromSeconds(1), 30, 10)
+	if !strings.Contains(frame, "nodes=2") {
+		t.Errorf("header:\n%s", frame)
+	}
+	if !strings.Contains(frame, "1 @") || !strings.Contains(frame, "2 @") {
+		t.Errorf("legend:\n%s", frame)
+	}
+}
+
+func TestActivityWindows(t *testing.T) {
+	r := New(demoStore())
+	act := r.Activity(time.Second)
+	if len(act) < 2 {
+		t.Fatalf("activity: %+v", act)
+	}
+	// Window starting at 1s holds the in+out pair.
+	var w1 *WindowStats
+	for i := range act {
+		if act[i].From == vclock.FromSeconds(1) {
+			w1 = &act[i]
+		}
+	}
+	if w1 == nil || w1.Ingress != 1 || w1.Delivered != 1 {
+		t.Errorf("window 1: %+v", w1)
+	}
+	var w3 *WindowStats
+	for i := range act {
+		if act[i].From == vclock.FromSeconds(3) {
+			w3 = &act[i]
+		}
+	}
+	if w3 == nil || w3.Dropped != 1 {
+		t.Errorf("window 3: %+v", w3)
+	}
+}
+
+func TestScriptRendersRun(t *testing.T) {
+	r := New(demoStore())
+	script := r.Script(2*time.Second, 20, 6)
+	if strings.Count(script, "t=") < 3 {
+		t.Errorf("too few frames:\n%s", script)
+	}
+	if !strings.Contains(script, "activity:") {
+		t.Error("activity table missing")
+	}
+	if !strings.Contains(script, "drop=1") {
+		t.Errorf("drop count missing:\n%s", script)
+	}
+}
+
+// vec avoids importing geom twice in tests.
+func vec(x, y float64) (v struct{ X, Y float64 }) {
+	v.X, v.Y = x, y
+	return v
+}

@@ -1,0 +1,229 @@
+package routing
+
+import (
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// AODV is an on-demand distance-vector protocol — the "on-demand" half
+// of the paper's hybrid (§6.1). Routes are discovered only when needed:
+// the source floods a route request (RREQ), the target answers with a
+// unicast route reply (RREP) along the reverse path, and intermediate
+// nodes learn both directions in passing. Data sent before a route
+// exists is queued until discovery completes or times out.
+type AODV struct {
+	base
+	reqID   uint32
+	pending map[radio.NodeID]*pendingRoute
+}
+
+// pendingRoute is data parked while an RREQ is in flight.
+type pendingRoute struct {
+	frames   []pendingFrame
+	issuedAt int64 // tick of the last RREQ
+	retries  int
+}
+
+type pendingFrame struct {
+	flow    uint16
+	seq     uint32
+	payload []byte
+}
+
+// maxRREQRetries bounds route-discovery attempts per destination.
+const maxRREQRetries = 3
+
+// NewAODV returns an AODV instance.
+func NewAODV(cfg Config) *AODV {
+	return &AODV{
+		base:    newBase(cfg),
+		pending: make(map[radio.NodeID]*pendingRoute),
+	}
+}
+
+// Name implements Protocol.
+func (*AODV) Name() string { return "aodv" }
+
+// Start implements Protocol.
+func (a *AODV) Start(h Host) { a.start(h) }
+
+// Stop implements Protocol.
+func (a *AODV) Stop() { a.stop() }
+
+// Tick implements Protocol: ages routes and retries or abandons stale
+// route discoveries.
+func (a *AODV) Tick() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped || a.h == nil {
+		return
+	}
+	a.tick++
+	a.expireLocked()
+	for dst, p := range a.pending {
+		if a.tick-p.issuedAt < 2 {
+			continue // give the RREQ time to come back
+		}
+		if p.retries >= maxRREQRetries {
+			delete(a.pending, dst) // destination unreachable; drop queue
+			a.nNoRoute++
+			continue
+		}
+		p.retries++
+		p.issuedAt = a.tick
+		a.sendRREQLocked(dst)
+	}
+}
+
+func (a *AODV) sendRREQLocked(target radio.NodeID) {
+	a.reqID++
+	me := a.h.ID()
+	// Mark our own request seen so the echo is not re-flooded.
+	a.markSeenLocked(dupKey{origin: me, flow: ctrlFlow, seq: a.reqID})
+	a.broadcastRouteLocked(kindRREQ, a.reqID, me, target, 0)
+}
+
+// broadcastRouteLocked floods an RREQ (route frames reuse the control
+// flow label, seq = reqID for dedup).
+func (a *AODV) broadcastRouteLocked(kind frameKind, reqID uint32, origin, target radio.NodeID, hops uint8) {
+	body := encodeRoute(kind, reqID, origin, target, hops)
+	for _, ch := range a.h.Channels() {
+		a.h.Send(wire.Packet{
+			Dst: radio.Broadcast, Channel: ch,
+			Flow: ctrlFlow, Seq: reqID, Payload: body,
+		})
+	}
+}
+
+// HandlePacket implements Protocol.
+func (a *AODV) HandlePacket(pkt wire.Packet) {
+	fr, err := decodeFrame(pkt.Payload)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped || a.h == nil {
+		return
+	}
+	a.noteHeardLocked(pkt.Src)
+	switch fr.Kind {
+	case kindRREQ:
+		a.handleRREQLocked(pkt, fr)
+	case kindRREP:
+		a.handleRREPLocked(pkt, fr)
+	case kindRERR:
+		a.handleRERRLocked(pkt, fr)
+	case kindData:
+		a.handleDataLocked(pkt, fr)
+	}
+}
+
+func (a *AODV) handleRREQLocked(pkt wire.Packet, fr frame) {
+	me := a.h.ID()
+	if fr.Origin == me {
+		return // our own flood echoed back
+	}
+	if a.markSeenLocked(dupKey{origin: fr.Origin, flow: ctrlFlow, seq: fr.ReqID}) {
+		return
+	}
+	// Learn (or improve) the reverse route to the requester.
+	a.learnLocked(Entry{
+		Dst: fr.Origin, Next: pkt.Src, Channel: pkt.Channel,
+		Metric: int(fr.Hops) + 1, Seq: fr.ReqID,
+	})
+	if fr.Target == me {
+		// We are the destination: answer along the reverse path.
+		a.sendRREPLocked(fr.ReqID, fr.Origin, me, 0)
+		return
+	}
+	if int(fr.Hops)+1 >= a.cfg.TTL {
+		return
+	}
+	a.broadcastRouteLocked(kindRREQ, fr.ReqID, fr.Origin, fr.Target, fr.Hops+1)
+}
+
+// sendRREPLocked unicasts a route reply one hop toward origin.
+func (a *AODV) sendRREPLocked(reqID uint32, origin, target radio.NodeID, hops uint8) {
+	r, ok := a.routes[origin]
+	if !ok {
+		return // reverse route evaporated
+	}
+	body := encodeRoute(kindRREP, reqID, origin, target, hops)
+	a.unicastLocked(r.Next, r.Channel, ctrlFlow, reqID, body)
+}
+
+func (a *AODV) handleRREPLocked(pkt wire.Packet, fr frame) {
+	me := a.h.ID()
+	// Learn the forward route to the target.
+	a.learnLocked(Entry{
+		Dst: fr.Target, Next: pkt.Src, Channel: pkt.Channel,
+		Metric: int(fr.Hops) + 1, Seq: fr.ReqID,
+	})
+	if fr.Origin == me {
+		// Discovery complete: flush the queue for this destination.
+		if p, ok := a.pending[fr.Target]; ok {
+			delete(a.pending, fr.Target)
+			r := a.routes[fr.Target]
+			for _, q := range p.frames {
+				body := encodeData(me, fr.Target, uint8(a.cfg.TTL), q.payload)
+				a.unicastLocked(r.Next, r.Channel, q.flow, q.seq, body)
+			}
+		}
+		return
+	}
+	// Forward the reply toward the origin.
+	a.sendRREPLocked(fr.ReqID, fr.Origin, fr.Target, fr.Hops+1)
+}
+
+func (a *AODV) handleRERRLocked(pkt wire.Packet, fr frame) {
+	// The sender lost its route to fr.Final; drop ours if it runs
+	// through them.
+	if r, ok := a.routes[fr.Final]; ok && r.Next == pkt.Src {
+		delete(a.routes, fr.Final)
+	}
+}
+
+func (a *AODV) handleDataLocked(pkt wire.Packet, fr frame) {
+	me := a.h.ID()
+	if fr.Final == me {
+		a.deliverLocked(fr, pkt.Flow, pkt.Seq)
+		return
+	}
+	if fr.TTL == 0 {
+		return
+	}
+	r, ok := a.routes[fr.Final]
+	if !ok {
+		// Relay without a route: report the break toward the source.
+		a.nNoRoute++
+		a.broadcastLocked(encodeRERR(fr.Final))
+		return
+	}
+	body := encodeData(fr.Origin, fr.Final, fr.TTL-1, fr.Payload)
+	a.unicastLocked(r.Next, r.Channel, pkt.Flow, pkt.Seq, body)
+	a.nForwarded++
+}
+
+// SendData implements Protocol. Without a route the payload is queued
+// and discovery starts; nil is returned because the protocol took
+// responsibility for it.
+func (a *AODV) SendData(dst radio.NodeID, flow uint16, seq uint32, payload []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return ErrStopped
+	}
+	if r, ok := a.routes[dst]; ok {
+		body := encodeData(a.h.ID(), dst, uint8(a.cfg.TTL), payload)
+		return a.unicastLocked(r.Next, r.Channel, flow, seq, body)
+	}
+	p := a.pending[dst]
+	if p == nil {
+		p = &pendingRoute{issuedAt: a.tick}
+		a.pending[dst] = p
+		a.sendRREQLocked(dst)
+	}
+	p.frames = append(p.frames, pendingFrame{flow: flow, seq: seq, payload: payload})
+	return nil
+}

@@ -1,0 +1,184 @@
+package routing
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/radio"
+)
+
+// Routing-layer frame format, carried inside wire.Packet payloads. A
+// one-byte kind tag selects the body layout; everything is big endian.
+//
+//	hello : [kind]
+//	dv    : [kind][nh:2] nh × {id:4}  [n:2] n × {dst:4, metric:2, seq:4}
+//	        (nh = "heard list": nodes whose frames the sender received
+//	        recently, enabling bidirectional-link confirmation under
+//	        the emulator's directional neighbor model)
+//	rreq  : [kind][reqID:4][origin:4][target:4][hops:1]
+//	rrep  : [kind][reqID:4][origin:4][target:4][hops:1]
+//	rerr  : [kind][dst:4]
+//	data  : [kind][origin:4][final:4][ttl:1][payload…]
+
+type frameKind byte
+
+const (
+	kindHello frameKind = iota + 1
+	kindDV
+	kindRREQ
+	kindRREP
+	kindRERR
+	kindData
+	kindLSA // link-state advertisement (LSR protocol)
+)
+
+// errBadFrame reports an undecodable routing frame.
+var errBadFrame = errors.New("routing: bad frame")
+
+// dvEntry is one advertised route.
+type dvEntry struct {
+	Dst    radio.NodeID
+	Metric uint16
+	Seq    uint32
+}
+
+type frame struct {
+	Kind    frameKind
+	Heard   []radio.NodeID // dv: nodes the sender hears
+	Entries []dvEntry      // dv
+	ReqID   uint32         // rreq/rrep
+	Origin  radio.NodeID   // rreq/rrep/data
+	Target  radio.NodeID   // rreq/rrep
+	Final   radio.NodeID   // data
+	Hops    uint8          // rreq/rrep
+	TTL     uint8          // data
+	Payload []byte         // data
+	LSASeq  uint32         // lsa
+	Links   []lsaLink      // lsa
+}
+
+func encodeHello() []byte { return []byte{byte(kindHello)} }
+
+func encodeDV(heard []radio.NodeID, entries []dvEntry) []byte {
+	b := make([]byte, 0, 5+4*len(heard)+10*len(entries))
+	b = append(b, byte(kindDV))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(heard)))
+	for _, id := range heard {
+		b = binary.BigEndian.AppendUint32(b, uint32(id))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(entries)))
+	for _, e := range entries {
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Dst))
+		b = binary.BigEndian.AppendUint16(b, e.Metric)
+		b = binary.BigEndian.AppendUint32(b, e.Seq)
+	}
+	return b
+}
+
+func encodeRoute(kind frameKind, reqID uint32, origin, target radio.NodeID, hops uint8) []byte {
+	b := make([]byte, 0, 14)
+	b = append(b, byte(kind))
+	b = binary.BigEndian.AppendUint32(b, reqID)
+	b = binary.BigEndian.AppendUint32(b, uint32(origin))
+	b = binary.BigEndian.AppendUint32(b, uint32(target))
+	return append(b, hops)
+}
+
+func encodeRERR(dst radio.NodeID) []byte {
+	b := make([]byte, 0, 5)
+	b = append(b, byte(kindRERR))
+	return binary.BigEndian.AppendUint32(b, uint32(dst))
+}
+
+func encodeData(origin, final radio.NodeID, ttl uint8, payload []byte) []byte {
+	b := make([]byte, 0, 10+len(payload))
+	b = append(b, byte(kindData))
+	b = binary.BigEndian.AppendUint32(b, uint32(origin))
+	b = binary.BigEndian.AppendUint32(b, uint32(final))
+	b = append(b, ttl)
+	return append(b, payload...)
+}
+
+func decodeFrame(b []byte) (frame, error) {
+	if len(b) == 0 {
+		return frame{}, errBadFrame
+	}
+	f := frame{Kind: frameKind(b[0])}
+	body := b[1:]
+	switch f.Kind {
+	case kindHello:
+		return f, nil
+	case kindDV:
+		if len(body) < 2 {
+			return frame{}, errBadFrame
+		}
+		nh := int(binary.BigEndian.Uint16(body))
+		if len(body) < 2+4*nh+2 {
+			return frame{}, errBadFrame
+		}
+		f.Heard = make([]radio.NodeID, nh)
+		for i := 0; i < nh; i++ {
+			f.Heard[i] = radio.NodeID(binary.BigEndian.Uint32(body[2+4*i:]))
+		}
+		rest := body[2+4*nh:]
+		n := int(binary.BigEndian.Uint16(rest))
+		if len(rest) != 2+10*n {
+			return frame{}, errBadFrame
+		}
+		f.Entries = make([]dvEntry, n)
+		for i := 0; i < n; i++ {
+			off := 2 + 10*i
+			f.Entries[i] = dvEntry{
+				Dst:    radio.NodeID(binary.BigEndian.Uint32(rest[off:])),
+				Metric: binary.BigEndian.Uint16(rest[off+4:]),
+				Seq:    binary.BigEndian.Uint32(rest[off+6:]),
+			}
+		}
+		return f, nil
+	case kindRREQ, kindRREP:
+		if len(body) != 13 {
+			return frame{}, errBadFrame
+		}
+		f.ReqID = binary.BigEndian.Uint32(body)
+		f.Origin = radio.NodeID(binary.BigEndian.Uint32(body[4:]))
+		f.Target = radio.NodeID(binary.BigEndian.Uint32(body[8:]))
+		f.Hops = body[12]
+		return f, nil
+	case kindRERR:
+		if len(body) != 4 {
+			return frame{}, errBadFrame
+		}
+		f.Final = radio.NodeID(binary.BigEndian.Uint32(body))
+		return f, nil
+	case kindData:
+		if len(body) < 9 {
+			return frame{}, errBadFrame
+		}
+		f.Origin = radio.NodeID(binary.BigEndian.Uint32(body))
+		f.Final = radio.NodeID(binary.BigEndian.Uint32(body[4:]))
+		f.TTL = body[8]
+		f.Payload = append([]byte(nil), body[9:]...)
+		return f, nil
+	case kindLSA:
+		if len(body) < 10 {
+			return frame{}, errBadFrame
+		}
+		f.Origin = radio.NodeID(binary.BigEndian.Uint32(body))
+		f.LSASeq = binary.BigEndian.Uint32(body[4:])
+		n := int(binary.BigEndian.Uint16(body[8:]))
+		if len(body) != 10+6*n {
+			return frame{}, errBadFrame
+		}
+		f.Links = make([]lsaLink, n)
+		for i := 0; i < n; i++ {
+			off := 10 + 6*i
+			f.Links[i] = lsaLink{
+				Neighbor: radio.NodeID(binary.BigEndian.Uint32(body[off:])),
+				Channel:  radio.ChannelID(binary.BigEndian.Uint16(body[off+4:])),
+			}
+		}
+		return f, nil
+	default:
+		return frame{}, errBadFrame
+	}
+}

@@ -1,0 +1,151 @@
+package routing
+
+import (
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// DSDV is a destination-sequenced distance-vector protocol — the
+// "periodic-broadcasting" half of the paper's hybrid (§6.1). Every
+// beacon period each node broadcasts its full table tagged with
+// per-destination sequence numbers; receivers adopt fresher or shorter
+// routes. Links die by silence: entries not refreshed within
+// EntryTTLTicks beacons are purged.
+type DSDV struct {
+	base
+	// horizon bounds which routes are advertised; the full protocol
+	// advertises everything (horizon = TTL), the hybrid shrinks it.
+	horizon int
+}
+
+// NewDSDV returns a DSDV instance.
+func NewDSDV(cfg Config) *DSDV {
+	cfg = cfg.withDefaults()
+	d := &DSDV{base: newBase(cfg)}
+	d.horizon = cfg.TTL // advertise everything
+	return d
+}
+
+// Name implements Protocol.
+func (*DSDV) Name() string { return "dsdv" }
+
+// Start implements Protocol.
+func (d *DSDV) Start(h Host) { d.start(h) }
+
+// Stop implements Protocol.
+func (d *DSDV) Stop() { d.stop() }
+
+// Tick implements Protocol: age the table, then beacon it.
+func (d *DSDV) Tick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped || d.h == nil {
+		return
+	}
+	d.tick++
+	d.expireLocked()
+	d.beaconLocked()
+}
+
+// beaconLocked broadcasts the advertised slice of the table plus the
+// node's own freshly sequenced reachability and its heard-list (for
+// bidirectional-link confirmation).
+func (d *DSDV) beaconLocked() {
+	d.ownSeq += 2 // even sequence numbers mark live routes (DSDV style)
+	entries := []dvEntry{{Dst: d.h.ID(), Metric: 0, Seq: d.ownSeq}}
+	for _, r := range d.routes {
+		if r.Metric < d.horizon {
+			entries = append(entries, dvEntry{Dst: r.Dst, Metric: uint16(r.Metric), Seq: r.Seq})
+		}
+	}
+	d.broadcastLocked(encodeDV(d.heardFreshLocked(), entries))
+}
+
+// HandlePacket implements Protocol.
+func (d *DSDV) HandlePacket(pkt wire.Packet) { d.handle(pkt) }
+
+func (d *DSDV) handle(pkt wire.Packet) {
+	fr, err := decodeFrame(pkt.Payload)
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped || d.h == nil {
+		return
+	}
+	d.noteHeardLocked(pkt.Src)
+	switch fr.Kind {
+	case kindDV:
+		d.absorbDVLocked(pkt.Src, pkt.Channel, fr)
+	case kindData:
+		d.handleDataLocked(pkt, fr)
+	}
+}
+
+// absorbDVLocked merges a neighbor's advertisement — but only once the
+// link is confirmed bidirectional: hearing the beacon proves from→me,
+// and our ID in the beacon's heard-list proves me→from. Routes through
+// a half-duplex neighbor would silently eat traffic.
+func (d *DSDV) absorbDVLocked(from radio.NodeID, ch radio.ChannelID, fr frame) {
+	if !d.confirmBidirLocked(from, fr.Heard) {
+		return
+	}
+	me := d.h.ID()
+	for _, adv := range fr.Entries {
+		if adv.Dst == me {
+			continue
+		}
+		metric := int(adv.Metric) + 1
+		if metric > d.cfg.TTL {
+			continue
+		}
+		d.learnLocked(Entry{
+			Dst: adv.Dst, Next: from, Channel: ch,
+			Metric: metric, Seq: adv.Seq,
+		})
+	}
+}
+
+// handleDataLocked delivers or forwards an application frame.
+func (d *DSDV) handleDataLocked(pkt wire.Packet, fr frame) {
+	me := d.h.ID()
+	if fr.Final == me {
+		d.deliverLocked(fr, pkt.Flow, pkt.Seq)
+		return
+	}
+	if fr.TTL == 0 {
+		return
+	}
+	r, ok := d.routes[fr.Final]
+	if !ok {
+		d.nNoRoute++
+		return // proactive protocol: no route means drop
+	}
+	body := encodeData(fr.Origin, fr.Final, fr.TTL-1, fr.Payload)
+	d.unicastLocked(r.Next, r.Channel, pkt.Flow, pkt.Seq, body)
+	d.nForwarded++
+}
+
+// SendData implements Protocol.
+func (d *DSDV) SendData(dst radio.NodeID, flow uint16, seq uint32, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return ErrStopped
+	}
+	r, ok := d.routes[dst]
+	if !ok {
+		d.nNoRoute++
+		return ErrNoRoute
+	}
+	body := encodeData(d.h.ID(), dst, uint8(d.cfg.TTL), payload)
+	return d.unicastLocked(r.Next, r.Channel, flow, seq, body)
+}
+
+// ErrNoRoute is returned when a proactive protocol has no path.
+var ErrNoRoute = errNoRoute{}
+
+type errNoRoute struct{}
+
+func (errNoRoute) Error() string { return "routing: no route to destination" }

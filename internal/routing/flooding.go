@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// Flooding is the baseline "protocol": every data frame is broadcast
+// and every node rebroadcasts unseen frames until the TTL runs out. It
+// needs no routing table, always works when any path exists, and wastes
+// bandwidth proportionally — the yardstick the real protocols beat.
+type Flooding struct {
+	base
+}
+
+// NewFlooding returns a flooding instance.
+func NewFlooding(cfg Config) *Flooding {
+	return &Flooding{base: newBase(cfg)}
+}
+
+// Name implements Protocol.
+func (*Flooding) Name() string { return "flooding" }
+
+// Start implements Protocol.
+func (f *Flooding) Start(h Host) { f.start(h) }
+
+// Stop implements Protocol.
+func (f *Flooding) Stop() { f.stop() }
+
+// Tick implements Protocol. Flooding keeps no routes; only dedup state
+// ages out.
+func (f *Flooding) Tick() {
+	f.mu.Lock()
+	f.tick++
+	f.expireLocked()
+	f.mu.Unlock()
+}
+
+// SendData implements Protocol.
+func (f *Flooding) SendData(dst radio.NodeID, flow uint16, seq uint32, payload []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped {
+		return ErrStopped
+	}
+	// Mark our own frame seen so an echoed copy is not re-flooded.
+	f.markSeenLocked(dupKey{origin: f.h.ID(), flow: flow, seq: seq})
+	body := encodeData(f.h.ID(), dst, uint8(f.cfg.TTL), payload)
+	for _, ch := range f.h.Channels() {
+		f.h.Send(wire.Packet{Dst: radio.Broadcast, Channel: ch, Flow: flow, Seq: seq, Payload: body})
+	}
+	return nil
+}
+
+// HandlePacket implements Protocol.
+func (f *Flooding) HandlePacket(pkt wire.Packet) {
+	fr, err := decodeFrame(pkt.Payload)
+	if err != nil || fr.Kind != kindData {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stopped || f.h == nil {
+		return
+	}
+	if f.markSeenLocked(dupKey{origin: fr.Origin, flow: pkt.Flow, seq: pkt.Seq}) {
+		return
+	}
+	me := f.h.ID()
+	if fr.Final == me || fr.Final == radio.Broadcast {
+		f.deliverLocked(fr, pkt.Flow, pkt.Seq)
+		if fr.Final == me {
+			return
+		}
+	}
+	if fr.TTL == 0 {
+		return
+	}
+	body := encodeData(fr.Origin, fr.Final, fr.TTL-1, fr.Payload)
+	for _, ch := range f.h.Channels() {
+		f.h.Send(wire.Packet{Dst: radio.Broadcast, Channel: ch, Flow: pkt.Flow, Seq: pkt.Seq, Payload: body})
+	}
+	f.nForwarded++
+}

@@ -1,0 +1,83 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// FuzzDecodeFrame hammers the routing-frame decoder: no panics, and
+// accepted frames re-encode losslessly for the kinds with encoders.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(encodeHello())
+	f.Add(encodeDV([]radio.NodeID{1, 2}, []dvEntry{{Dst: 3, Metric: 1, Seq: 9}}))
+	f.Add(encodeRoute(kindRREQ, 1, 2, 3, 4))
+	f.Add(encodeRoute(kindRREP, 1, 3, 2, 0))
+	f.Add(encodeRERR(7))
+	f.Add(encodeData(1, 2, 8, []byte("payload")))
+	f.Add(encodeLSA(1, 7, map[radio.NodeID]radio.ChannelID{2: 1}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		var re []byte
+		switch fr.Kind {
+		case kindHello:
+			re = encodeHello()
+		case kindDV:
+			re = encodeDV(fr.Heard, fr.Entries)
+		case kindRREQ, kindRREP:
+			re = encodeRoute(fr.Kind, fr.ReqID, fr.Origin, fr.Target, fr.Hops)
+		case kindRERR:
+			re = encodeRERR(fr.Final)
+		case kindData:
+			re = encodeData(fr.Origin, fr.Final, fr.TTL, fr.Payload)
+		case kindLSA:
+			links := map[radio.NodeID]radio.ChannelID{}
+			for _, ln := range fr.Links {
+				links[ln.Neighbor] = ln.Channel
+			}
+			re = encodeLSA(fr.Origin, fr.LSASeq, links)
+		default:
+			t.Fatalf("decoder accepted unknown kind %d", fr.Kind)
+		}
+		fr2, err := decodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fr2.Kind != fr.Kind {
+			t.Fatalf("kind changed: %d → %d", fr.Kind, fr2.Kind)
+		}
+	})
+}
+
+// FuzzProtocolsSurviveGarbage delivers arbitrary payloads to every
+// protocol: none may panic or corrupt their tables.
+func FuzzProtocolsSurviveGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeData(1, 2, 8, []byte("x")))
+	f.Add(encodeDV(nil, []dvEntry{{Dst: 1, Metric: 1, Seq: 1}}))
+	f.Add([]byte{6, 0, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m := newMesh()
+		m.connected = func(a, b radio.NodeID, _ radio.ChannelID) bool { return true }
+		protos := []Protocol{
+			NewHybrid(Config{}), NewDSDV(Config{}),
+			NewAODV(Config{}), NewFlooding(Config{}), NewLSR(Config{}),
+		}
+		for i, p := range protos {
+			m.add(radio.NodeID(i+1), p, 1)
+		}
+		pkt := wire.Packet{Src: 9, Dst: radio.Broadcast, Channel: 1, Flow: 3, Seq: 1, Payload: payload}
+		for _, p := range protos {
+			p.HandlePacket(pkt)
+			p.Tick()
+			p.Table() // must not panic post-garbage
+		}
+		m.deliverAll()
+	})
+}

@@ -1,0 +1,119 @@
+package routing
+
+import (
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// Hybrid is the protocol the paper's proof-of-concept test exercises
+// (§6.1): "a hybrid MANET routing protocol ... combining the
+// periodic-broadcasting and on-demand mechanisms to achieve high
+// robustness for military applications."
+//
+// The proactive component is DSDV-style periodic broadcasting bounded
+// by a horizon: only routes within HorizonHops are advertised, so
+// nearby topology is always known (fast local repair, fresh neighbor
+// tables). Destinations beyond the horizon are resolved on demand with
+// AODV-style RREQ/RREP floods. Either mechanism alone degrades —
+// full-table beacons melt under mobility, pure on-demand stalls on
+// every first packet — and the combination is what made the paper's
+// Table 2 routing tables respond live to range and channel changes.
+type Hybrid struct {
+	AODV // reuse the reactive machinery (pending queues, RREQ/RREP)
+}
+
+// NewHybrid returns a hybrid instance.
+func NewHybrid(cfg Config) *Hybrid {
+	cfg = cfg.withDefaults()
+	h := &Hybrid{AODV: AODV{
+		base:    newBase(cfg),
+		pending: make(map[radio.NodeID]*pendingRoute),
+	}}
+	return h
+}
+
+// Name implements Protocol.
+func (*Hybrid) Name() string { return "hybrid" }
+
+// Tick implements Protocol: the reactive bookkeeping of AODV plus the
+// periodic DSDV-style beacon bounded by the horizon.
+func (h *Hybrid) Tick() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopped || h.h == nil {
+		return
+	}
+	h.tick++
+	h.expireLocked()
+	// Reactive retries (duplicated from AODV.Tick to share one lock
+	// acquisition with the beacon).
+	for dst, p := range h.pending {
+		if h.tick-p.issuedAt < 2 {
+			continue
+		}
+		if p.retries >= maxRREQRetries {
+			delete(h.pending, dst)
+			h.nNoRoute++
+			continue
+		}
+		p.retries++
+		p.issuedAt = h.tick
+		h.sendRREQLocked(dst)
+	}
+	// Proactive beacon: own reachability plus routes inside the horizon
+	// plus the heard-list for bidirectional confirmation.
+	h.ownSeq += 2
+	entries := []dvEntry{{Dst: h.h.ID(), Metric: 0, Seq: h.ownSeq}}
+	for _, r := range h.routes {
+		if r.Metric < h.cfg.HorizonHops {
+			entries = append(entries, dvEntry{Dst: r.Dst, Metric: uint16(r.Metric), Seq: r.Seq})
+		}
+	}
+	h.broadcastLocked(encodeDV(h.heardFreshLocked(), entries))
+}
+
+// HandlePacket implements Protocol: DV frames feed the proactive table,
+// everything else goes through the reactive machinery.
+func (h *Hybrid) HandlePacket(pkt wire.Packet) {
+	fr, err := decodeFrame(pkt.Payload)
+	if err != nil {
+		return
+	}
+	if fr.Kind != kindDV {
+		h.AODV.HandlePacket(pkt)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopped || h.h == nil {
+		return
+	}
+	h.noteHeardLocked(pkt.Src)
+	if !h.confirmBidirLocked(pkt.Src, fr.Heard) {
+		return // link not (yet) confirmed bidirectional
+	}
+	me := h.h.ID()
+	for _, adv := range fr.Entries {
+		if adv.Dst == me {
+			continue
+		}
+		metric := int(adv.Metric) + 1
+		if metric > h.cfg.HorizonHops {
+			continue // beyond the proactive horizon
+		}
+		if h.learnLocked(Entry{
+			Dst: adv.Dst, Next: pkt.Src, Channel: pkt.Channel,
+			Metric: metric, Seq: adv.Seq,
+		}) {
+			// A proactive route appeared; flush any queued data.
+			if p, ok := h.pending[adv.Dst]; ok {
+				delete(h.pending, adv.Dst)
+				r := h.routes[adv.Dst]
+				for _, q := range p.frames {
+					body := encodeData(me, adv.Dst, uint8(h.cfg.TTL), q.payload)
+					h.unicastLocked(r.Next, r.Channel, q.flow, q.seq, body)
+				}
+			}
+		}
+	}
+}

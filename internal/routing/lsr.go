@@ -1,0 +1,287 @@
+package routing
+
+import (
+	"encoding/binary"
+
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// LSR is a link-state routing protocol (OLSR-family, simplified): each
+// node floods a sequenced link-state advertisement (LSA) describing its
+// confirmed neighbor set; every node assembles the flooded LSAs into a
+// topology database and runs shortest-path over it. Compared with the
+// distance-vector protocols it converges without counting-to-infinity
+// and every node knows complete paths — at the price of flooding
+// overhead proportional to topology change.
+//
+// It is the fourth protocol class in this repository (proactive
+// link-state vs proactive distance-vector vs reactive vs flooding) and
+// slots into the same Host/Protocol machinery, so the E13 comparison
+// covers it too.
+type LSR struct {
+	base
+	lsaSeq uint32
+	// db[origin] is the freshest LSA heard from origin.
+	db map[radio.NodeID]*lsaRecord
+	// lastFlooded tracks our own advertised neighbor set so we flood
+	// early when it changes (triggered update), not only periodically.
+	lastFlooded map[radio.NodeID]radio.ChannelID
+}
+
+type lsaRecord struct {
+	seq      uint32
+	links    map[radio.NodeID]radio.ChannelID // neighbor → channel
+	lastSeen int64
+}
+
+// lsaFloodPeriod is how many ticks between unconditional re-floods.
+const lsaFloodPeriod = 2
+
+// NewLSR returns a link-state instance.
+func NewLSR(cfg Config) *LSR {
+	return &LSR{
+		base:        newBase(cfg),
+		db:          make(map[radio.NodeID]*lsaRecord),
+		lastFlooded: make(map[radio.NodeID]radio.ChannelID),
+	}
+}
+
+// Name implements Protocol.
+func (*LSR) Name() string { return "lsr" }
+
+// Start implements Protocol.
+func (l *LSR) Start(h Host) { l.start(h) }
+
+// Stop implements Protocol.
+func (l *LSR) Stop() { l.stop() }
+
+// Tick implements Protocol: hello beacon (neighbor sensing with
+// bidirectional confirmation), LSA aging, periodic or triggered flood,
+// and route recomputation.
+func (l *LSR) Tick() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped || l.h == nil {
+		return
+	}
+	l.tick++
+	l.expireLocked()
+	// Age out LSAs whose origin went silent.
+	for origin, rec := range l.db {
+		if l.tick-rec.lastSeen >= int64(2*l.cfg.EntryTTLTicks) {
+			delete(l.db, origin)
+		}
+	}
+	// Hello: an empty DV frame carries the heard-list, which is all the
+	// neighbor-sensing machinery needs.
+	l.broadcastLocked(encodeDV(l.heardFreshLocked(), nil))
+	// Flood the LSA when due or when the neighbor set changed.
+	nbrs := l.confirmedNeighborsLocked()
+	if l.tick%lsaFloodPeriod == 0 || !sameLinks(nbrs, l.lastFlooded) {
+		l.lsaSeq++
+		l.lastFlooded = nbrs
+		l.markSeenLocked(dupKey{origin: l.h.ID(), flow: ctrlFlow, seq: l.lsaSeq | lsaSeqBit})
+		body := encodeLSA(l.h.ID(), l.lsaSeq, nbrs)
+		l.broadcastLocked(body)
+		// Our own LSA also feeds our database.
+		l.absorbLSALocked(l.h.ID(), l.lsaSeq, nbrs)
+	}
+	l.recomputeLocked()
+}
+
+// lsaSeqBit disambiguates LSA dedup keys from RREQ dedup keys that
+// share the control-flow namespace.
+const lsaSeqBit = 1 << 31
+
+// confirmedNeighborsLocked lists bidirectionally confirmed neighbors
+// with the channel we hear them on.
+func (l *LSR) confirmedNeighborsLocked() map[radio.NodeID]radio.ChannelID {
+	out := make(map[radio.NodeID]radio.ChannelID)
+	for n, t := range l.bidir {
+		if t > 0 && l.tick-t < int64(l.cfg.EntryTTLTicks) {
+			if ch, ok := l.nbrChannel[n]; ok {
+				out[n] = ch
+			}
+		}
+	}
+	return out
+}
+
+func sameLinks(a, b map[radio.NodeID]radio.ChannelID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HandlePacket implements Protocol.
+func (l *LSR) HandlePacket(pkt wire.Packet) {
+	fr, err := decodeFrame(pkt.Payload)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped || l.h == nil {
+		return
+	}
+	l.noteHeardLocked(pkt.Src)
+	l.noteChannelLocked(pkt.Src, pkt.Channel)
+	switch fr.Kind {
+	case kindDV:
+		// Hello: just the bidirectional confirmation.
+		l.confirmBidirLocked(pkt.Src, fr.Heard)
+	case kindLSA:
+		l.handleLSALocked(pkt, fr)
+	case kindData:
+		l.handleDataLocked(pkt, fr)
+	}
+}
+
+func (l *LSR) handleLSALocked(pkt wire.Packet, fr frame) {
+	me := l.h.ID()
+	if fr.Origin == me {
+		return
+	}
+	if l.markSeenLocked(dupKey{origin: fr.Origin, flow: ctrlFlow, seq: fr.LSASeq | lsaSeqBit}) {
+		return
+	}
+	links := make(map[radio.NodeID]radio.ChannelID, len(fr.Links))
+	for _, ln := range fr.Links {
+		links[ln.Neighbor] = ln.Channel
+	}
+	if l.absorbLSALocked(fr.Origin, fr.LSASeq, links) {
+		l.recomputeLocked()
+	}
+	// Re-flood on every channel (classic LSA propagation).
+	l.broadcastLocked(encodeLSA(fr.Origin, fr.LSASeq, links))
+}
+
+// absorbLSALocked merges an LSA; reports whether the database changed.
+func (l *LSR) absorbLSALocked(origin radio.NodeID, seq uint32, links map[radio.NodeID]radio.ChannelID) bool {
+	rec := l.db[origin]
+	if rec != nil && seq <= rec.seq {
+		rec.lastSeen = l.tick // refresh even when stale-seq duplicates arrive
+		return false
+	}
+	l.db[origin] = &lsaRecord{seq: seq, links: links, lastSeen: l.tick}
+	return true
+}
+
+// recomputeLocked rebuilds the routing table by breadth-first search
+// over the LSA database (hop-count metric, like the rest of the repo).
+func (l *LSR) recomputeLocked() {
+	me := l.h.ID()
+	// My own direct links come from live neighbor sensing, not the DB,
+	// so a dead first hop disappears immediately.
+	direct := l.confirmedNeighborsLocked()
+	type hop struct {
+		via radio.NodeID
+		ch  radio.ChannelID
+		d   int
+	}
+	best := map[radio.NodeID]hop{}
+	queue := make([]radio.NodeID, 0, len(direct))
+	for n, ch := range direct {
+		best[n] = hop{via: n, ch: ch, d: 1}
+		queue = append(queue, n)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		rec := l.db[cur]
+		if rec == nil {
+			continue
+		}
+		curHop := best[cur]
+		for nxt := range rec.links {
+			if nxt == me {
+				continue
+			}
+			if _, seen := best[nxt]; seen {
+				continue
+			}
+			if curHop.d+1 > l.cfg.TTL {
+				continue
+			}
+			best[nxt] = hop{via: curHop.via, ch: curHop.ch, d: curHop.d + 1}
+			queue = append(queue, nxt)
+		}
+	}
+	l.routes = make(map[radio.NodeID]*route, len(best))
+	for dst, h := range best {
+		l.routes[dst] = &route{
+			Entry:    Entry{Dst: dst, Next: h.via, Channel: h.ch, Metric: h.d, Seq: l.db[dst].seqOrZero()},
+			lastSeen: l.tick,
+		}
+	}
+}
+
+func (r *lsaRecord) seqOrZero() uint32 {
+	if r == nil {
+		return 0
+	}
+	return r.seq
+}
+
+func (l *LSR) handleDataLocked(pkt wire.Packet, fr frame) {
+	me := l.h.ID()
+	if fr.Final == me {
+		l.deliverLocked(fr, pkt.Flow, pkt.Seq)
+		return
+	}
+	if fr.TTL == 0 {
+		return
+	}
+	r, ok := l.routes[fr.Final]
+	if !ok {
+		l.nNoRoute++
+		return
+	}
+	body := encodeData(fr.Origin, fr.Final, fr.TTL-1, fr.Payload)
+	l.unicastLocked(r.Next, r.Channel, pkt.Flow, pkt.Seq, body)
+	l.nForwarded++
+}
+
+// SendData implements Protocol.
+func (l *LSR) SendData(dst radio.NodeID, flow uint16, seq uint32, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		return ErrStopped
+	}
+	r, ok := l.routes[dst]
+	if !ok {
+		l.nNoRoute++
+		return ErrNoRoute
+	}
+	body := encodeData(l.h.ID(), dst, uint8(l.cfg.TTL), payload)
+	return l.unicastLocked(r.Next, r.Channel, flow, seq, body)
+}
+
+// ---------------------------------------------------------------------------
+// LSA frame encoding: [kind][origin:4][seq:4][n:2] n × {id:4, ch:2}
+
+type lsaLink struct {
+	Neighbor radio.NodeID
+	Channel  radio.ChannelID
+}
+
+func encodeLSA(origin radio.NodeID, seq uint32, links map[radio.NodeID]radio.ChannelID) []byte {
+	b := make([]byte, 0, 11+6*len(links))
+	b = append(b, byte(kindLSA))
+	b = binary.BigEndian.AppendUint32(b, uint32(origin))
+	b = binary.BigEndian.AppendUint32(b, seq)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(links)))
+	for n, ch := range links {
+		b = binary.BigEndian.AppendUint32(b, uint32(n))
+		b = binary.BigEndian.AppendUint16(b, uint16(ch))
+	}
+	return b
+}

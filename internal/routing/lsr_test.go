@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/radio"
+)
+
+func TestLSRConvergesOnLine(t *testing.T) {
+	m := newMesh()
+	m.connected = lineLinks
+	for id := radio.NodeID(1); id <= 5; id++ {
+		m.add(id, NewLSR(Config{}), 1)
+	}
+	m.ticks(6)
+	p1 := m.protos[1]
+	tbl := p1.Table()
+	if len(tbl) != 4 {
+		t.Fatalf("node 1 table: %v", tbl)
+	}
+	for dst, want := range map[radio.NodeID]int{2: 1, 3: 2, 4: 3, 5: 4} {
+		e, ok := findRoute(p1, dst)
+		if !ok || e.Metric != want {
+			t.Errorf("route to %v: %+v ok=%v want metric %d", dst, e, ok, want)
+		}
+		if ok && e.Next != 2 && dst != 2 {
+			t.Errorf("route to %v via %v, want 2", dst, e.Next)
+		}
+	}
+}
+
+func TestLSRDataDelivery(t *testing.T) {
+	m := newMesh()
+	m.connected = lineLinks
+	for id := radio.NodeID(1); id <= 4; id++ {
+		m.add(id, NewLSR(Config{}), 1)
+	}
+	m.ticks(6)
+	if err := m.protos[1].SendData(4, 2, 7, []byte("link state")); err != nil {
+		t.Fatal(err)
+	}
+	m.deliverAll()
+	del := m.protos[4].Deliveries()
+	if len(del) != 1 || string(del[0].Payload) != "link state" {
+		t.Fatalf("deliveries: %+v", del)
+	}
+}
+
+func TestLSRNoRoute(t *testing.T) {
+	m := newMesh()
+	m.connected = func(a, b radio.NodeID, _ radio.ChannelID) bool { return false }
+	m.add(1, NewLSR(Config{}), 1)
+	m.add(2, NewLSR(Config{}), 1)
+	m.ticks(4)
+	if err := m.protos[1].SendData(2, 1, 1, nil); err != ErrNoRoute {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLSRLinkBreakConverges(t *testing.T) {
+	m := newMesh()
+	up := true
+	m.connected = func(a, b radio.NodeID, ch radio.ChannelID) bool {
+		if !up && (a == 2 || b == 2) && (a == 3 || b == 3) {
+			return false // cut 2—3
+		}
+		// Ring: 1-2-3-4-1 so an alternate path exists.
+		d := int64(a) - int64(b)
+		if d < 0 {
+			d = -d
+		}
+		return d == 1 || d == 3
+	}
+	for id := radio.NodeID(1); id <= 4; id++ {
+		m.add(id, NewLSR(Config{EntryTTLTicks: 2}), 1)
+	}
+	m.ticks(6)
+	if e, ok := findRoute(m.protos[2], 3); !ok || e.Next != 3 {
+		t.Fatalf("initial route 2→3: %+v ok=%v", e, ok)
+	}
+	up = false
+	m.ticks(8)
+	// 2 must now route to 3 the long way: 2→1→4→3.
+	e, ok := findRoute(m.protos[2], 3)
+	if !ok {
+		t.Fatalf("no repaired route: %v", m.protos[2].Table())
+	}
+	if e.Next == 3 {
+		t.Errorf("route still uses the dead link: %+v", e)
+	}
+	if e.Metric != 3 {
+		t.Errorf("repaired metric %d, want 3", e.Metric)
+	}
+	if err := m.protos[2].SendData(3, 1, 1, []byte("around")); err != nil {
+		t.Fatal(err)
+	}
+	m.deliverAll()
+	if del := m.protos[3].Deliveries(); len(del) != 1 {
+		t.Fatalf("repaired delivery: %+v", del)
+	}
+}
+
+func TestLSRMultiRadioBridge(t *testing.T) {
+	m := newMesh()
+	m.connected = func(a, b radio.NodeID, _ radio.ChannelID) bool { return true }
+	m.add(1, NewLSR(Config{}), 1)
+	m.add(2, NewLSR(Config{}), 1, 2)
+	m.add(3, NewLSR(Config{}), 2)
+	m.ticks(6)
+	e, ok := findRoute(m.protos[1], 3)
+	if !ok || e.Next != 2 || e.Channel != 1 {
+		t.Fatalf("bridge route: %+v ok=%v", e, ok)
+	}
+	m.protos[1].SendData(3, 1, 1, []byte("bridged"))
+	m.deliverAll()
+	if del := m.protos[3].Deliveries(); len(del) != 1 {
+		t.Fatalf("bridge delivery: %+v", del)
+	}
+}
+
+func TestLSACodecRoundTrip(t *testing.T) {
+	links := map[radio.NodeID]radio.ChannelID{5: 1, 9: 2}
+	b := encodeLSA(3, 42, links)
+	fr, err := decodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Kind != kindLSA || fr.Origin != 3 || fr.LSASeq != 42 || len(fr.Links) != 2 {
+		t.Errorf("decoded: %+v", fr)
+	}
+	got := map[radio.NodeID]radio.ChannelID{}
+	for _, ln := range fr.Links {
+		got[ln.Neighbor] = ln.Channel
+	}
+	if got[5] != 1 || got[9] != 2 {
+		t.Errorf("links: %v", got)
+	}
+	// Corrupt lengths rejected.
+	if _, err := decodeFrame(b[:len(b)-1]); err == nil {
+		t.Error("truncated LSA accepted")
+	}
+	if _, err := decodeFrame([]byte{byte(kindLSA), 0, 0}); err == nil {
+		t.Error("short LSA accepted")
+	}
+}
+
+func TestLSRStaleSeqIgnored(t *testing.T) {
+	m := newMesh()
+	m.connected = lineLinks
+	m.add(1, NewLSR(Config{}), 1)
+	m.add(2, NewLSR(Config{}), 1)
+	m.ticks(4)
+	l1 := m.protos[1].(*LSR)
+	l1.mu.Lock()
+	rec := l1.db[2]
+	seqBefore := rec.seq
+	l1.mu.Unlock()
+	// Inject an old-sequence LSA claiming node 2 links to 99.
+	stale := encodeLSA(2, seqBefore-1, map[radio.NodeID]radio.ChannelID{99: 1})
+	l1.mu.Lock()
+	changed := l1.absorbLSALocked(2, seqBefore-1, map[radio.NodeID]radio.ChannelID{99: 1})
+	l1.mu.Unlock()
+	_ = stale
+	if changed {
+		t.Error("stale LSA accepted")
+	}
+	if _, ok := findRoute(m.protos[1], 99); ok {
+		t.Error("phantom route from stale LSA")
+	}
+}
+
+func TestLSRChannelPartition(t *testing.T) {
+	m := newMesh()
+	m.connected = func(a, b radio.NodeID, _ radio.ChannelID) bool { return true }
+	m.add(1, NewLSR(Config{}), 1)
+	m.add(2, NewLSR(Config{}), 2)
+	m.ticks(5)
+	if tbl := m.protos[1].Table(); len(tbl) != 0 {
+		t.Errorf("cross-channel routes: %v", tbl)
+	}
+}

@@ -1,0 +1,145 @@
+package routing
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/radio"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// mesh is a deterministic in-memory radio fabric for unit-testing
+// protocols without the emulator: Send enqueues, deliverAll drains, and
+// connectivity is a pure function the test controls.
+type mesh struct {
+	clk    *vclock.Manual
+	protos map[radio.NodeID]Protocol
+	hosts  map[radio.NodeID]*meshHost
+	// connected reports whether a can transmit to b on ch.
+	connected func(a, b radio.NodeID, ch radio.ChannelID) bool
+
+	mu    sync.Mutex
+	queue []queuedPkt
+	sent  int // total frames injected into the fabric
+}
+
+type queuedPkt struct {
+	to  radio.NodeID
+	pkt wire.Packet
+}
+
+type meshHost struct {
+	m     *mesh
+	id    radio.NodeID
+	chans []radio.ChannelID
+}
+
+func newMesh() *mesh {
+	return &mesh{
+		clk:    vclock.NewManual(0),
+		protos: make(map[radio.NodeID]Protocol),
+		hosts:  make(map[radio.NodeID]*meshHost),
+	}
+}
+
+// add registers a node with its protocol and channel set.
+func (m *mesh) add(id radio.NodeID, p Protocol, chans ...radio.ChannelID) {
+	h := &meshHost{m: m, id: id, chans: chans}
+	m.hosts[id] = h
+	m.protos[id] = p
+	p.Start(h)
+}
+
+func (h *meshHost) ID() radio.NodeID { return h.id }
+func (h *meshHost) Now() vclock.Time { return h.m.clk.Now() }
+func (h *meshHost) Channels() []radio.ChannelID {
+	return append([]radio.ChannelID(nil), h.chans...)
+}
+
+func (h *meshHost) Send(pkt wire.Packet) error {
+	pkt.Src = h.id
+	pkt.Stamp = h.m.clk.Now()
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent++
+	for id, peer := range m.hosts {
+		if id == h.id {
+			continue
+		}
+		if pkt.Dst != radio.Broadcast && pkt.Dst != id {
+			continue
+		}
+		if !peerHasChannel(peer, pkt.Channel) {
+			continue
+		}
+		if m.connected != nil && !m.connected(h.id, id, pkt.Channel) {
+			continue
+		}
+		m.queue = append(m.queue, queuedPkt{to: id, pkt: pkt})
+	}
+	return nil
+}
+
+func peerHasChannel(h *meshHost, ch radio.ChannelID) bool {
+	for _, c := range h.chans {
+		if c == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// deliverAll drains the fabric until quiescent (dedup in the protocols
+// guarantees termination).
+func (m *mesh) deliverAll() {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		q := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.protos[q.to].HandlePacket(q.pkt)
+	}
+}
+
+// tick advances every protocol one beacon period (deterministic order)
+// and drains the fabric.
+func (m *mesh) tick() {
+	ids := make([]radio.NodeID, 0, len(m.protos))
+	for id := range m.protos {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.protos[id].Tick()
+	}
+	m.deliverAll()
+}
+
+// ticks runs n beacon periods.
+func (m *mesh) ticks(n int) {
+	for i := 0; i < n; i++ {
+		m.tick()
+	}
+}
+
+// lineLinks wires nodes 1..n in a chain on every channel.
+func lineLinks(a, b radio.NodeID, _ radio.ChannelID) bool {
+	d := int64(a) - int64(b)
+	return d == 1 || d == -1
+}
+
+// route finds the entry for dst in p's table.
+func findRoute(p Protocol, dst radio.NodeID) (Entry, bool) {
+	for _, e := range p.Table() {
+		if e.Dst == dst {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

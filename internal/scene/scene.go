@@ -1,0 +1,403 @@
+// Package scene is the emulation server's live model of the MANET being
+// emulated: node positions, radio/channel assignments, per-channel link
+// models, and mobility. It is the layer the paper's GUI manipulates —
+// dragging a VMN calls MoveNode, the configuration dialog calls
+// SetRadios/SetLinkModel — so every control surface (CLI, scenario
+// script, test) drives the same API and real-time scene construction is
+// preserved without the graphical front end.
+//
+// The scene emits an Event for every change; the recorder persists them
+// for post-emulation replay and the server notifies affected clients.
+package scene
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/linkmodel"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/vclock"
+)
+
+// EventKind classifies scene changes.
+type EventKind uint8
+
+// Scene event kinds.
+const (
+	NodeAdded EventKind = iota + 1
+	NodeRemoved
+	NodeMoved
+	RadiosChanged
+	LinkModelChanged
+	MobilityChanged
+	PausedChanged
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case NodeAdded:
+		return "add"
+	case NodeRemoved:
+		return "remove"
+	case NodeMoved:
+		return "move"
+	case RadiosChanged:
+		return "radios"
+	case LinkModelChanged:
+		return "linkmodel"
+	case MobilityChanged:
+		return "mobility"
+	case PausedChanged:
+		return "pause"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one scene change.
+type Event struct {
+	At      vclock.Time
+	Kind    EventKind
+	Node    radio.NodeID
+	Pos     geom.Vec2
+	Radios  []radio.Radio
+	Channel radio.ChannelID
+	Detail  string
+}
+
+// Listener receives scene events. Listeners run synchronously under the
+// scene lock and must be fast; hand heavy work to a goroutine.
+type Listener func(Event)
+
+// NodeSnapshot is a read-only copy of one node's state.
+type NodeSnapshot struct {
+	ID     radio.NodeID
+	Pos    geom.Vec2
+	Radios []radio.Radio
+	Mobile bool
+}
+
+// Scene is safe for concurrent use.
+type Scene struct {
+	mu        sync.Mutex
+	clk       vclock.Clock
+	tab       radio.NeighborTable
+	models    map[radio.ChannelID]linkmodel.Model
+	defModel  linkmodel.Model
+	walkers   map[radio.NodeID]mobility.Walker
+	ids       map[radio.NodeID]bool
+	listeners []Listener
+	paused    bool
+	seed      int64
+	nextSeed  int64
+}
+
+// New creates a scene over the given neighbor table (usually
+// radio.NewIndexed). clk supplies event timestamps; seed makes mobility
+// deterministic.
+func New(tab radio.NeighborTable, clk vclock.Clock, seed int64) *Scene {
+	return &Scene{
+		clk:      clk,
+		tab:      tab,
+		models:   make(map[radio.ChannelID]linkmodel.Model),
+		defModel: linkmodel.Default(),
+		walkers:  make(map[radio.NodeID]mobility.Walker),
+		ids:      make(map[radio.NodeID]bool),
+		seed:     seed,
+		nextSeed: seed,
+	}
+}
+
+// Subscribe registers a listener for all subsequent events.
+func (s *Scene) Subscribe(l Listener) {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+}
+
+func (s *Scene) emitLocked(e Event) {
+	e.At = s.clk.Now()
+	for _, l := range s.listeners {
+		l(e)
+	}
+}
+
+// AddNode places a new VMN. It fails if the ID exists.
+func (s *Scene) AddNode(id radio.NodeID, pos geom.Vec2, radios []radio.Radio) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tab.Node(id); exists {
+		return fmt.Errorf("scene: node %v already exists", id)
+	}
+	s.tab.AddNode(&radio.Node{ID: id, Pos: pos, Radios: radios})
+	s.ids[id] = true
+	s.emitLocked(Event{Kind: NodeAdded, Node: id, Pos: pos, Radios: append([]radio.Radio(nil), radios...)})
+	return nil
+}
+
+// RemoveNode deletes a VMN (e.g. "moving out some nodes" to emulate an
+// attack, per §2.2). Unknown IDs are ignored.
+func (s *Scene) RemoveNode(id radio.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tab.Node(id); !exists {
+		return
+	}
+	s.tab.RemoveNode(id)
+	delete(s.walkers, id)
+	delete(s.ids, id)
+	s.emitLocked(Event{Kind: NodeRemoved, Node: id})
+}
+
+// MoveNode teleports a VMN — the GUI drag-and-drop. It detaches any
+// mobility walker (the operator took manual control).
+func (s *Scene) MoveNode(id radio.NodeID, pos geom.Vec2) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tab.Node(id); !exists {
+		return
+	}
+	delete(s.walkers, id)
+	s.tab.Move(id, pos)
+	s.emitLocked(Event{Kind: NodeMoved, Node: id, Pos: pos, Detail: "operator"})
+}
+
+// SetRadios replaces a VMN's radio set: channel switches, range
+// changes, adding or removing radios.
+func (s *Scene) SetRadios(id radio.NodeID, radios []radio.Radio) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.tab.Node(id); !exists {
+		return
+	}
+	s.tab.SetRadios(id, radios)
+	s.emitLocked(Event{Kind: RadiosChanged, Node: id, Radios: append([]radio.Radio(nil), radios...)})
+}
+
+// SetRange adjusts the range of every radio of id tuned to ch — the
+// Table 2 step 2 operation ("shrink the radio range of VMN1").
+func (s *Scene) SetRange(id radio.NodeID, ch radio.ChannelID, r float64) {
+	s.mu.Lock()
+	n, exists := s.tab.Node(id)
+	if !exists {
+		s.mu.Unlock()
+		return
+	}
+	radios := append([]radio.Radio(nil), n.Radios...)
+	changed := false
+	for i := range radios {
+		if radios[i].Channel == ch && radios[i].Range != r {
+			radios[i].Range = r
+			changed = true
+		}
+	}
+	if !changed {
+		s.mu.Unlock()
+		return
+	}
+	s.tab.SetRadios(id, radios)
+	s.emitLocked(Event{Kind: RadiosChanged, Node: id, Radios: radios,
+		Detail: fmt.Sprintf("range(%v)=%g", ch, r)})
+	s.mu.Unlock()
+}
+
+// SetMobility attaches a mobility model to a VMN, starting from its
+// current position at the current emulation time.
+func (s *Scene) SetMobility(id radio.NodeID, m mobility.Model) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, exists := s.tab.Node(id)
+	if !exists {
+		return
+	}
+	s.nextSeed++
+	s.walkers[id] = m.NewWalker(n.Pos, rand.New(rand.NewSource(s.nextSeed)))
+	s.emitLocked(Event{Kind: MobilityChanged, Node: id, Pos: n.Pos})
+}
+
+// ClearMobility freezes a VMN in place.
+func (s *Scene) ClearMobility(id radio.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.walkers[id]; !ok {
+		return
+	}
+	delete(s.walkers, id)
+	s.emitLocked(Event{Kind: MobilityChanged, Node: id, Detail: "cleared"})
+}
+
+// SetLinkModel configures the wireless model for one channel.
+func (s *Scene) SetLinkModel(ch radio.ChannelID, m linkmodel.Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.models[ch] = m
+	s.emitLocked(Event{Kind: LinkModelChanged, Channel: ch})
+	return nil
+}
+
+// SetDefaultLinkModel configures the model for channels without an
+// explicit one.
+func (s *Scene) SetDefaultLinkModel(m linkmodel.Model) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.defModel = m
+	s.emitLocked(Event{Kind: LinkModelChanged, Detail: "default"})
+	return nil
+}
+
+// SetPaused stops (or resumes) mobility ticking.
+func (s *Scene) SetPaused(p bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.paused == p {
+		return
+	}
+	s.paused = p
+	s.emitLocked(Event{Kind: PausedChanged, Detail: fmt.Sprintf("%v", p)})
+}
+
+// Paused reports whether mobility is paused.
+func (s *Scene) Paused() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paused
+}
+
+// Tick advances every mobility walker to time now and updates the
+// neighbor tables. The server runs this on a fixed cadence.
+func (s *Scene) Tick(now vclock.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.paused {
+		return
+	}
+	// Deterministic iteration order keeps runs reproducible.
+	ids := make([]radio.NodeID, 0, len(s.walkers))
+	for id := range s.walkers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := s.walkers[id]
+		pos := w.Pos(now)
+		n, ok := s.tab.Node(id)
+		if !ok || n.Pos == pos {
+			continue
+		}
+		s.tab.Move(id, pos)
+		s.emitLocked(Event{Kind: NodeMoved, Node: id, Pos: pos, Detail: "mobility"})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Queries (the dispatcher's read path)
+
+// Neighbors returns NT(id, ch) under the current scene.
+func (s *Scene) Neighbors(id radio.NodeID, ch radio.ChannelID) []radio.Neighbor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tab.Neighbors(id, ch)
+}
+
+// Node returns a copy of a node's state.
+func (s *Scene) Node(id radio.NodeID) (radio.Node, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tab.Node(id)
+}
+
+// HasNode reports whether id exists.
+func (s *Scene) HasNode(id radio.NodeID) bool {
+	_, ok := s.Node(id)
+	return ok
+}
+
+// ModelFor returns the link model governing channel ch.
+func (s *Scene) ModelFor(ch radio.ChannelID) linkmodel.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.models[ch]; ok {
+		return m
+	}
+	return s.defModel
+}
+
+// Snapshot returns a copy of all node states, sorted by ID.
+func (s *Scene) Snapshot() []NodeSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]NodeSnapshot, 0, len(s.ids))
+	for id := range s.ids {
+		n, _ := s.tab.Node(id)
+		_, mobile := s.walkers[id]
+		out = append(out, NodeSnapshot{ID: id, Pos: n.Pos, Radios: n.Radios, Mobile: mobile})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NodeIDs returns all node IDs, sorted.
+func (s *Scene) NodeIDs() []radio.NodeID {
+	snap := s.Snapshot()
+	out := make([]radio.NodeID, len(snap))
+	for i, n := range snap {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (s *Scene) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tab.Len()
+}
+
+// ---------------------------------------------------------------------------
+// Ticker
+
+// Ticker drives Scene.Tick on a fixed emulation-time cadence in its own
+// goroutine.
+type Ticker struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartTicker begins ticking sc every step of emulation time.
+func StartTicker(sc *Scene, clk vclock.WaitClock, step time.Duration) *Ticker {
+	t := &Ticker{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(t.done)
+		next := clk.Now().Add(step)
+		for {
+			if !clk.Wait(next, t.stop) {
+				return
+			}
+			sc.Tick(clk.Now())
+			next = next.Add(step)
+		}
+	}()
+	return t
+}
+
+// Stop halts the ticker and waits for its goroutine.
+func (t *Ticker) Stop() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	<-t.done
+}

@@ -1,0 +1,165 @@
+// Package sched implements the PoEm server's forwarding schedule
+// (paper §3.2, steps 4–6): packets that survived the link model's drop
+// decision are queued with their computed departure time t_forward; a
+// scanning goroutine watches the schedule and fires a sender the moment
+// the emulation clock reaches each departure.
+//
+// Three queue organizations are provided for the A1 ablation benchmark:
+// a binary heap (default), an insertion-sorted list (the naive "queues
+// for schedules" of the paper's §5), and a timing wheel. All satisfy
+// Queue and deliver items in (Due, push-order) sequence.
+package sched
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Item is one scheduled departure: forward packet Pkt to client To at
+// emulation time Due.
+type Item struct {
+	Due vclock.Time
+	To  radio.NodeID
+	Pkt wire.Packet
+
+	seq uint64 // assigned by the queue; stabilizes equal-Due ordering
+}
+
+// Queue is a time-ordered schedule. Implementations are not safe for
+// concurrent use; the Scanner serializes access.
+type Queue interface {
+	// Push inserts an item.
+	Push(it Item)
+	// PopDue removes and returns the earliest item whose Due ≤ now.
+	PopDue(now vclock.Time) (Item, bool)
+	// NextDue reports the earliest departure time, if any.
+	NextDue() (vclock.Time, bool)
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// ---------------------------------------------------------------------------
+// Binary heap (default)
+
+// HeapQueue is a binary min-heap on (Due, seq).
+type HeapQueue struct {
+	h    itemHeap
+	next uint64
+}
+
+// NewHeap returns an empty HeapQueue.
+func NewHeap() *HeapQueue { return &HeapQueue{} }
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Due != h[j].Due {
+		return h[i].Due < h[j].Due
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = Item{} // release payload memory
+	*h = old[:n-1]
+	return it
+}
+
+// Push implements Queue.
+func (q *HeapQueue) Push(it Item) {
+	it.seq = q.next
+	q.next++
+	heap.Push(&q.h, it)
+}
+
+// PopDue implements Queue.
+func (q *HeapQueue) PopDue(now vclock.Time) (Item, bool) {
+	if len(q.h) == 0 || q.h[0].Due > now {
+		return Item{}, false
+	}
+	return heap.Pop(&q.h).(Item), true
+}
+
+// NextDue implements Queue.
+func (q *HeapQueue) NextDue() (vclock.Time, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].Due, true
+}
+
+// Len implements Queue.
+func (q *HeapQueue) Len() int { return len(q.h) }
+
+// ---------------------------------------------------------------------------
+// Insertion-sorted list
+
+// ListQueue keeps items in a slice sorted ascending by (Due, seq).
+// Push is O(n), pop is O(1) amortized. This mirrors the "queues for
+// schedules" of the paper's preliminary implementation (§5) and loses
+// to the heap as the schedule deepens — the A1 ablation quantifies it.
+type ListQueue struct {
+	items []Item
+	head  int
+	next  uint64
+}
+
+// NewList returns an empty ListQueue.
+func NewList() *ListQueue { return &ListQueue{} }
+
+// Push implements Queue.
+func (q *ListQueue) Push(it Item) {
+	it.seq = q.next
+	q.next++
+	live := q.items[q.head:]
+	// Binary search for the insertion point among live items.
+	i := sort.Search(len(live), func(i int) bool {
+		if live[i].Due != it.Due {
+			return live[i].Due > it.Due
+		}
+		return live[i].seq > it.seq
+	})
+	q.items = append(q.items, Item{})
+	copy(q.items[q.head+i+1:], q.items[q.head+i:])
+	q.items[q.head+i] = it
+}
+
+// PopDue implements Queue.
+func (q *ListQueue) PopDue(now vclock.Time) (Item, bool) {
+	if q.head >= len(q.items) || q.items[q.head].Due > now {
+		return Item{}, false
+	}
+	it := q.items[q.head]
+	q.items[q.head] = Item{}
+	q.head++
+	if q.head > 256 && q.head*2 > len(q.items) {
+		// Compact the consumed prefix.
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = Item{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return it, true
+}
+
+// NextDue implements Queue.
+func (q *ListQueue) NextDue() (vclock.Time, bool) {
+	if q.head >= len(q.items) {
+		return 0, false
+	}
+	return q.items[q.head].Due, true
+}
+
+// Len implements Queue.
+func (q *ListQueue) Len() int { return len(q.items) - q.head }

@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+func queues() map[string]func() Queue {
+	return map[string]func() Queue{
+		"heap":  func() Queue { return NewHeap() },
+		"list":  func() Queue { return NewList() },
+		"wheel": func() Queue { return NewWheel(vclock.FromMillis(10), 64) },
+	}
+}
+
+func TestQueueEmpty(t *testing.T) {
+	for name, mk := range queues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if q.Len() != 0 {
+				t.Error("non-zero initial Len")
+			}
+			if _, ok := q.NextDue(); ok {
+				t.Error("NextDue on empty")
+			}
+			if _, ok := q.PopDue(vclock.FromSeconds(1e6)); ok {
+				t.Error("PopDue on empty")
+			}
+		})
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	for name, mk := range queues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			times := []int64{50, 10, 30, 20, 40, 10, 60}
+			for i, ms := range times {
+				q.Push(Item{Due: vclock.FromMillis(ms), Pkt: wire.Packet{Seq: uint32(i)}})
+			}
+			if q.Len() != len(times) {
+				t.Fatalf("Len = %d", q.Len())
+			}
+			if next, ok := q.NextDue(); !ok || next != vclock.FromMillis(10) {
+				t.Fatalf("NextDue = %v,%v", next, ok)
+			}
+			var got []int64
+			var seqAt10 []uint32
+			for {
+				it, ok := q.PopDue(vclock.FromSeconds(10))
+				if !ok {
+					break
+				}
+				got = append(got, int64(it.Due)/1e6)
+				if it.Due == vclock.FromMillis(10) {
+					seqAt10 = append(seqAt10, it.Pkt.Seq)
+				}
+			}
+			want := []int64{10, 10, 20, 30, 40, 50, 60}
+			if len(got) != len(want) {
+				t.Fatalf("popped %v", got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("order: got %v", got)
+				}
+			}
+			// FIFO among equal departure times.
+			if len(seqAt10) != 2 || seqAt10[0] != 1 || seqAt10[1] != 5 {
+				t.Errorf("equal-Due order: %v", seqAt10)
+			}
+		})
+	}
+}
+
+func TestQueuePopDueRespectsNow(t *testing.T) {
+	for name, mk := range queues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			q.Push(Item{Due: vclock.FromMillis(100)})
+			q.Push(Item{Due: vclock.FromMillis(200)})
+			if _, ok := q.PopDue(vclock.FromMillis(99)); ok {
+				t.Error("popped before due")
+			}
+			if it, ok := q.PopDue(vclock.FromMillis(150)); !ok || it.Due != vclock.FromMillis(100) {
+				t.Errorf("PopDue(150ms) = %v,%v", it.Due, ok)
+			}
+			if _, ok := q.PopDue(vclock.FromMillis(150)); ok {
+				t.Error("popped 200ms item at 150ms")
+			}
+			if it, ok := q.PopDue(vclock.FromMillis(200)); !ok || it.Due != vclock.FromMillis(200) {
+				t.Error("boundary pop failed")
+			}
+		})
+	}
+}
+
+// Property: any interleaving of pushes and due-pops yields items in
+// non-decreasing Due order, and matches the heap reference.
+func TestQueueEquivalenceRandomized(t *testing.T) {
+	for name, mk := range queues() {
+		if name == "heap" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			q := mk()
+			ref := NewHeap()
+			now := vclock.Time(0)
+			for step := 0; step < 5000; step++ {
+				if rng.Intn(3) > 0 { // bias toward pushes, then drain
+					due := now + vclock.FromMillis(int64(rng.Intn(500)))
+					it := Item{Due: due, Pkt: wire.Packet{Seq: uint32(step)}}
+					q.Push(it)
+					ref.Push(it)
+				} else {
+					now += vclock.FromMillis(int64(rng.Intn(50)))
+					for {
+						a, okA := q.PopDue(now)
+						b, okB := ref.PopDue(now)
+						if okA != okB {
+							t.Fatalf("step %d: pop disagreement ok=%v/%v", step, okA, okB)
+						}
+						if !okA {
+							break
+						}
+						if a.Due != b.Due || a.Pkt.Seq != b.Pkt.Seq {
+							t.Fatalf("step %d: pop mismatch (%v,%d) vs (%v,%d)",
+								step, a.Due, a.Pkt.Seq, b.Due, b.Pkt.Seq)
+						}
+					}
+				}
+				if q.Len() != ref.Len() {
+					t.Fatalf("step %d: Len %d vs %d", step, q.Len(), ref.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestWheelOverflow(t *testing.T) {
+	// Horizon = 10ms × 4 slots = 40ms; schedule far beyond it.
+	q := NewWheel(vclock.FromMillis(10), 4)
+	for _, ms := range []int64{5, 500, 50, 5000, 15} {
+		q.Push(Item{Due: vclock.FromMillis(ms)})
+	}
+	var got []int64
+	now := vclock.Time(0)
+	for q.Len() > 0 {
+		now += vclock.FromMillis(1)
+		for {
+			it, ok := q.PopDue(now)
+			if !ok {
+				break
+			}
+			got = append(got, int64(it.Due)/1e6)
+		}
+	}
+	want := []int64{5, 15, 50, 500, 5000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("overflow order: %v", got)
+		}
+	}
+}
+
+func TestListCompaction(t *testing.T) {
+	q := NewList()
+	// Push and drain enough to trigger the head compaction path.
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 300; i++ {
+			q.Push(Item{Due: vclock.FromMillis(int64(i))})
+		}
+		for i := 0; i < 300; i++ {
+			if _, ok := q.PopDue(vclock.FromSeconds(10)); !ok {
+				t.Fatal("drain failed")
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("Len after drain = %d", q.Len())
+		}
+	}
+}
+
+func BenchmarkScheduleQueueImpls(b *testing.B) {
+	for name, mk := range queues() {
+		b.Run(name, func(b *testing.B) {
+			q := mk()
+			rng := rand.New(rand.NewSource(1))
+			now := vclock.Time(0)
+			// Steady state: keep ~1024 items in flight.
+			for i := 0; i < 1024; i++ {
+				q.Push(Item{Due: now + vclock.FromMillis(int64(rng.Intn(100)))})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += vclock.FromMillis(1)
+				for {
+					if _, ok := q.PopDue(now); !ok {
+						break
+					}
+					q.Push(Item{Due: now + vclock.FromMillis(int64(rng.Intn(100)))})
+				}
+			}
+		})
+	}
+}
+
+// Property (testing/quick): for any op stream, every queue pops items
+// in non-decreasing Due order and never releases a future item.
+func TestQueueOrderingInvariantQuick(t *testing.T) {
+	for name, mk := range queues() {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint16) bool {
+				q := mk()
+				now := vclock.Time(0)
+				lastPopped := vclock.Time(-1 << 62)
+				for _, op := range ops {
+					if op%3 != 0 { // push biased 2:1
+						q.Push(Item{Due: now + vclock.FromMillis(int64(op%512))})
+						continue
+					}
+					now += vclock.FromMillis(int64(op % 64))
+					for {
+						it, ok := q.PopDue(now)
+						if !ok {
+							break
+						}
+						if it.Due > now {
+							return false // future item released
+						}
+						if it.Due < lastPopped {
+							return false // ordering violated
+						}
+						lastPopped = it.Due
+					}
+					// After a drain, nothing due remains.
+					if due, ok := q.NextDue(); ok && due <= now {
+						return false
+					}
+					lastPopped = -1 << 62 // order resets per drain window
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

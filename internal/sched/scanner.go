@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Scanner is the paper's "scanning thread" (§3.2 step 5): it watches
+// the schedule and, as the emulation clock reaches each departure time,
+// hands the item to the dispatch function (which runs the send on its
+// own goroutine, step 6). Push may be called from any number of
+// scheduling goroutines; an early-deadline push wakes the scanner so a
+// newly scheduled packet can overtake a sleeping later one.
+type Scanner struct {
+	clk      vclock.WaitClock
+	dispatch func(Item)
+
+	mu   sync.Mutex
+	q    Queue
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	// stats
+	dispatched uint64
+}
+
+// NewScanner wraps queue q. dispatch is invoked on the scanner
+// goroutine; it must hand long work off (the server gives each send its
+// own goroutine, per the paper).
+func NewScanner(q Queue, clk vclock.WaitClock, dispatch func(Item)) *Scanner {
+	return &Scanner{
+		clk:      clk,
+		dispatch: dispatch,
+		q:        q,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the scanning goroutine.
+func (s *Scanner) Start() {
+	go s.run()
+}
+
+// Stop terminates the scanner and waits for it to exit. Items still
+// queued are abandoned (the emulation is over).
+func (s *Scanner) Stop() {
+	select {
+	case <-s.stop:
+		return // already stopped
+	default:
+	}
+	close(s.stop)
+	<-s.done
+}
+
+// Push schedules an item and wakes the scanner if needed.
+func (s *Scanner) Push(it Item) {
+	s.mu.Lock()
+	s.q.Push(it)
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default: // a wakeup is already pending
+	}
+}
+
+// Pending returns the current schedule depth.
+func (s *Scanner) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Len()
+}
+
+// Dispatched returns how many items have been fired so far.
+func (s *Scanner) Dispatched() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dispatched
+}
+
+func (s *Scanner) run() {
+	defer close(s.done)
+	for {
+		// Fire everything due.
+		for {
+			now := s.clk.Now()
+			s.mu.Lock()
+			it, ok := s.q.PopDue(now)
+			if ok {
+				s.dispatched++
+			}
+			s.mu.Unlock()
+			if !ok {
+				break
+			}
+			s.dispatch(it)
+		}
+		// Sleep until the next departure, a push, or stop.
+		s.mu.Lock()
+		next, ok := s.q.NextDue()
+		s.mu.Unlock()
+		if !ok {
+			select {
+			case <-s.kick:
+				continue
+			case <-s.stop:
+				return
+			}
+		}
+		if s.waitOrWake(next) {
+			return
+		}
+	}
+}
+
+// waitOrWake blocks until `next`, a kick, or stop; reports stop.
+func (s *Scanner) waitOrWake(next vclock.Time) (stopped bool) {
+	cancel := make(chan struct{})
+	waitDone := make(chan bool, 1)
+	go func() { waitDone <- s.clk.Wait(next, cancel) }()
+	select {
+	case <-waitDone:
+		return false
+	case <-s.kick:
+		close(cancel)
+		<-waitDone
+		return false
+	case <-s.stop:
+		close(cancel)
+		<-waitDone
+		return true
+	}
+}

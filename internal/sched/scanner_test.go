@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// collect gathers dispatched items with their dispatch times.
+type collect struct {
+	mu    sync.Mutex
+	clk   vclock.Clock
+	items []Item
+	times []vclock.Time
+	ch    chan struct{}
+}
+
+func newCollect(clk vclock.Clock) *collect {
+	return &collect{clk: clk, ch: make(chan struct{}, 1024)}
+}
+
+func (c *collect) dispatch(it Item) {
+	c.mu.Lock()
+	c.items = append(c.items, it)
+	c.times = append(c.times, c.clk.Now())
+	c.mu.Unlock()
+	c.ch <- struct{}{}
+}
+
+func (c *collect) waitN(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-c.ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for dispatch %d/%d", i+1, n)
+		}
+	}
+}
+
+func TestScannerFiresInOrder(t *testing.T) {
+	clk := vclock.NewSystem(1000) // 1 ms wall = 1 s emulated
+	col := newCollect(clk)
+	s := NewScanner(NewHeap(), clk, col.dispatch)
+	s.Start()
+	defer s.Stop()
+	base := clk.Now()
+	// Push out of order.
+	for _, d := range []time.Duration{300, 100, 200} {
+		s.Push(Item{Due: base.Add(d * time.Millisecond * 1000), Pkt: wire.Packet{Seq: uint32(d)}})
+	}
+	col.waitN(t, 3)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.items[0].Pkt.Seq != 100 || col.items[1].Pkt.Seq != 200 || col.items[2].Pkt.Seq != 300 {
+		t.Errorf("dispatch order: %d %d %d", col.items[0].Pkt.Seq, col.items[1].Pkt.Seq, col.items[2].Pkt.Seq)
+	}
+	// Nothing fired before its due time.
+	for i, at := range col.times {
+		if at < col.items[i].Due {
+			t.Errorf("item %d fired at %v before due %v", i, at, col.items[i].Due)
+		}
+	}
+	if s.Dispatched() != 3 {
+		t.Errorf("Dispatched = %d", s.Dispatched())
+	}
+}
+
+func TestScannerEarlyPushOvertakes(t *testing.T) {
+	clk := vclock.NewSystem(100)
+	col := newCollect(clk)
+	s := NewScanner(NewHeap(), clk, col.dispatch)
+	s.Start()
+	defer s.Stop()
+	base := clk.Now()
+	// A far-future item first; the scanner goes to sleep on it.
+	s.Push(Item{Due: base.Add(5 * time.Second), Pkt: wire.Packet{Seq: 2}})
+	time.Sleep(2 * time.Millisecond)
+	// Then a near item: it must fire first, well before 5s emulated.
+	s.Push(Item{Due: base.Add(50 * time.Millisecond), Pkt: wire.Packet{Seq: 1}})
+	col.waitN(t, 1)
+	col.mu.Lock()
+	first := col.items[0].Pkt.Seq
+	col.mu.Unlock()
+	if first != 1 {
+		t.Errorf("first dispatched = %d, want the early pushed item", first)
+	}
+}
+
+func TestScannerManualClock(t *testing.T) {
+	clk := vclock.NewManual(0)
+	col := newCollect(clk)
+	s := NewScanner(NewHeap(), clk, col.dispatch)
+	s.Start()
+	defer s.Stop()
+	s.Push(Item{Due: vclock.FromSeconds(1), Pkt: wire.Packet{Seq: 1}})
+	s.Push(Item{Due: vclock.FromSeconds(2), Pkt: wire.Packet{Seq: 2}})
+	time.Sleep(2 * time.Millisecond)
+	col.mu.Lock()
+	n := len(col.items)
+	col.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("fired %d items with frozen clock", n)
+	}
+	clk.Set(vclock.FromSeconds(1))
+	col.waitN(t, 1)
+	clk.Set(vclock.FromSeconds(5))
+	col.waitN(t, 1)
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.items[0].Pkt.Seq != 1 || col.items[1].Pkt.Seq != 2 {
+		t.Errorf("manual dispatch order: %+v", col.items)
+	}
+}
+
+func TestScannerStopIdempotent(t *testing.T) {
+	clk := vclock.NewManual(0)
+	s := NewScanner(NewHeap(), clk, func(Item) {})
+	s.Start()
+	s.Stop()
+	s.Stop() // second stop must not panic or hang
+}
+
+func TestScannerStopWithPending(t *testing.T) {
+	clk := vclock.NewManual(0)
+	s := NewScanner(NewHeap(), clk, func(Item) {})
+	s.Start()
+	for i := 0; i < 10; i++ {
+		s.Push(Item{Due: vclock.FromSeconds(float64(i + 100))})
+	}
+	if s.Pending() != 10 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	done := make(chan struct{})
+	go func() { s.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung with pending items")
+	}
+}
+
+func TestScannerHighThroughput(t *testing.T) {
+	clk := vclock.NewSystem(10000)
+	var count int64
+	var mu sync.Mutex
+	s := NewScanner(NewHeap(), clk, func(Item) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	s.Start()
+	defer s.Stop()
+	const n = 5000
+	base := clk.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				s.Push(Item{Due: base.Add(time.Duration(i%100) * time.Millisecond)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d dispatched", c, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// WheelQueue is a single-level timing wheel: departures within the
+// horizon hash into fixed-width slots; farther departures overflow into
+// a heap and are re-injected as the wheel turns. Pushes into the
+// horizon are O(1); ordering inside a slot is restored lazily at pop.
+// It trades exactness of NextDue (rounded up to slot resolution when
+// the slot is unsorted) for cheap inserts under heavy load.
+type WheelQueue struct {
+	slotW    vclock.Time // slot width
+	slots    []wheelSlot
+	cursor   int         // slot index of cursorTime
+	cursorT  vclock.Time // start time of the cursor slot
+	overflow HeapQueue
+	size     int
+	next     uint64
+}
+
+type wheelSlot struct {
+	items  []Item
+	sorted bool
+}
+
+// NewWheel builds a wheel with the given slot width and count. The
+// horizon is slotWidth × slots; items due farther out go to overflow.
+func NewWheel(slotWidth vclock.Time, slots int) *WheelQueue {
+	if slotWidth <= 0 {
+		slotWidth = vclock.FromMillis(1)
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	return &WheelQueue{
+		slotW: slotWidth,
+		slots: make([]wheelSlot, slots),
+	}
+}
+
+func (q *WheelQueue) horizon() vclock.Time {
+	return q.cursorT + vclock.Time(int64(q.slotW)*int64(len(q.slots)))
+}
+
+// Push implements Queue.
+func (q *WheelQueue) Push(it Item) {
+	it.seq = q.next
+	q.next++
+	q.size++
+	if it.Due >= q.horizon() {
+		q.overflow.Push(it)
+		return
+	}
+	idx := q.slotFor(it.Due)
+	s := &q.slots[idx]
+	s.items = append(s.items, it)
+	s.sorted = len(s.items) == 1
+}
+
+func (q *WheelQueue) slotFor(due vclock.Time) int {
+	if due < q.cursorT {
+		due = q.cursorT
+	}
+	off := int((due - q.cursorT) / q.slotW)
+	return (q.cursor + off) % len(q.slots)
+}
+
+// advance turns the wheel so the cursor slot covers `now`, moving any
+// overflow items that entered the horizon into slots.
+func (q *WheelQueue) advance(now vclock.Time) {
+	for q.cursorT+q.slotW <= now && q.slots[q.cursor].empty() {
+		q.cursor = (q.cursor + 1) % len(q.slots)
+		q.cursorT += q.slotW
+		// Refill from overflow into the newly exposed horizon.
+		for {
+			due, ok := q.overflow.NextDue()
+			if !ok || due >= q.horizon() {
+				break
+			}
+			it, _ := q.overflow.PopDue(due)
+			idx := q.slotFor(it.Due)
+			s := &q.slots[idx]
+			s.items = append(s.items, it)
+			s.sorted = len(s.items) == 1
+		}
+	}
+}
+
+func (s *wheelSlot) empty() bool { return len(s.items) == 0 }
+
+func (s *wheelSlot) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.Slice(s.items, func(i, j int) bool {
+		if s.items[i].Due != s.items[j].Due {
+			return s.items[i].Due < s.items[j].Due
+		}
+		return s.items[i].seq < s.items[j].seq
+	})
+	s.sorted = true
+}
+
+// PopDue implements Queue.
+func (q *WheelQueue) PopDue(now vclock.Time) (Item, bool) {
+	if q.size == 0 {
+		return Item{}, false
+	}
+	q.advance(now)
+	s := &q.slots[q.cursor]
+	if s.empty() {
+		// Cursor slot covers `now` but is empty: nothing due.
+		return Item{}, false
+	}
+	s.ensureSorted()
+	if s.items[0].Due > now {
+		return Item{}, false
+	}
+	it := s.items[0]
+	copy(s.items, s.items[1:])
+	s.items[len(s.items)-1] = Item{}
+	s.items = s.items[:len(s.items)-1]
+	q.size--
+	return it, true
+}
+
+// NextDue implements Queue. The answer is exact: the cursor slot is
+// sorted on demand and non-cursor state is inspected conservatively.
+func (q *WheelQueue) NextDue() (vclock.Time, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	best := vclock.Time(1<<63 - 1)
+	found := false
+	for i := range q.slots {
+		s := &q.slots[i]
+		if s.empty() {
+			continue
+		}
+		s.ensureSorted()
+		if s.items[0].Due < best {
+			best = s.items[0].Due
+			found = true
+		}
+	}
+	if due, ok := q.overflow.NextDue(); ok && (!found || due < best) {
+		best, found = due, true
+	}
+	return best, found
+}
+
+// Len implements Queue.
+func (q *WheelQueue) Len() int { return q.size }

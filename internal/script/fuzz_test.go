@@ -1,0 +1,42 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the scenario parser: it must never
+// panic, and accepted scripts must have internally consistent steps.
+func FuzzParse(f *testing.F) {
+	f.Add(demo)
+	f.Add("region 0 0 10 10\nat 0s add 1 pos 1,1\nat 1s end\n")
+	f.Add("at 0s linkmodel ch=1 p0=0.1 p1=0.9 d0=50 r=200\n")
+	f.Add("at 5s mobility 3 walk min=1 max=2 step=0.5\n")
+	f.Add("# only a comment\n")
+	f.Add("at 99999h pause\n")
+	f.Add("at 0s add 4294967295 pos -1e308,1e308\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		sp, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted scripts: steps sorted, non-negative times, non-nil
+		// actions, End covers the last step.
+		var prev int64 = -1
+		for _, st := range sp.Steps {
+			if int64(st.At) < prev {
+				t.Fatalf("steps unsorted: %v after %v", st.At, prev)
+			}
+			prev = int64(st.At)
+			if st.Do == nil {
+				t.Fatal("nil step action")
+			}
+			if st.At < 0 {
+				t.Fatal("negative step time")
+			}
+		}
+		if len(sp.Steps) > 0 && sp.End < sp.Steps[len(sp.Steps)-1].At {
+			t.Fatalf("End %v before last step %v", sp.End, sp.Steps[len(sp.Steps)-1].At)
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedScenariosParse keeps the example scenario files honest.
+func TestShippedScenariosParse(t *testing.T) {
+	root := "../../examples/scenarios"
+	matches, err := filepath.Glob(filepath.Join(root, "*.poem"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no shipped scenarios found: %v", err)
+	}
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := Parse(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(sp.Steps) == 0 {
+			t.Errorf("%s: no steps", path)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package stats computes the performance metrics PoEm reports after an
+// emulation run. The paper's headline metric is the time-windowed
+// packet-loss rate (Figure 10 plots it over the run); throughput,
+// end-to-end delay quantiles and raw counters round out the toolbox.
+//
+// The crucial distinction the paper draws is *which timestamp* feeds
+// the statistics:
+//
+//   - real-time statistics use the clients' parallel stamps (accurate
+//     even when the server ingress is congested);
+//   - non-real-time statistics use the server's serial receive times,
+//     which smear simultaneous sends apart and distort the curves.
+//
+// Both paths are exposed so E3/E4 can plot them side by side.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/vclock"
+)
+
+// Point is one sample of a time series: emulation time (seconds since
+// the series origin) and a value.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an ordered list of points.
+type Series []Point
+
+// String renders the series compactly for logs.
+func (s Series) String() string {
+	out := ""
+	for i, p := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("(%.1f,%.3f)", p.T, p.V)
+	}
+	return out
+}
+
+// Mean returns the average value of the series (NaN when empty).
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, p := range s {
+		sum += p.V
+	}
+	return sum / float64(len(s))
+}
+
+// MaxAbsDiff returns the largest |a-b| over pointwise-aligned series;
+// the shorter length bounds the comparison. Used to quantify how far a
+// measured curve strays from the expected one.
+func MaxAbsDiff(a, b Series) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	max := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(a[i].V - b[i].V); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Windowed loss rate
+
+// LossAccum accumulates per-window sent/received counts and produces
+// the packet-loss-rate series of Figure 10. It is a pure accumulator —
+// feed it timestamps from whichever clock you are evaluating.
+type LossAccum struct {
+	window    time.Duration
+	origin    vclock.Time
+	originSet bool
+	sent      map[int64]int
+	recv      map[int64]int
+}
+
+// NewLossAccum returns an accumulator with the given window width.
+func NewLossAccum(window time.Duration) *LossAccum {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &LossAccum{
+		window: window,
+		sent:   make(map[int64]int),
+		recv:   make(map[int64]int),
+	}
+}
+
+func (l *LossAccum) bucket(t vclock.Time) int64 {
+	if !l.originSet {
+		l.origin, l.originSet = t, true
+	}
+	return int64(t-l.origin) / int64(l.window)
+}
+
+// Sent records a transmission at time t.
+func (l *LossAccum) Sent(t vclock.Time) { l.sent[l.bucket(t)]++ }
+
+// Received records a delivery whose *send* happened at time t. Loss
+// rate per window compares sends in a window with how many of those
+// sends eventually arrived, so both events key on the send time.
+func (l *LossAccum) Received(t vclock.Time) { l.recv[l.bucket(t)]++ }
+
+// Series returns the loss-rate curve: one point per window that saw at
+// least one send, at the window's midpoint, value 1 - recv/sent.
+func (l *LossAccum) Series() Series {
+	keys := make([]int64, 0, len(l.sent))
+	for k := range l.sent {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make(Series, 0, len(keys))
+	for _, k := range keys {
+		s := l.sent[k]
+		r := l.recv[k]
+		if r > s {
+			r = s // duplicates delivered (broadcast fan-out); clamp
+		}
+		mid := l.origin.Add(time.Duration(k)*l.window + l.window/2)
+		out = append(out, Point{T: mid.Seconds(), V: 1 - float64(r)/float64(s)})
+	}
+	return out
+}
+
+// Totals returns the overall sent/received counts and loss rate.
+func (l *LossAccum) Totals() (sent, recv int, rate float64) {
+	for _, v := range l.sent {
+		sent += v
+	}
+	for _, v := range l.recv {
+		recv += v
+	}
+	if recv > sent {
+		recv = sent
+	}
+	if sent == 0 {
+		return 0, 0, 0
+	}
+	return sent, recv, 1 - float64(recv)/float64(sent)
+}
+
+// ---------------------------------------------------------------------------
+// Delay distribution
+
+// DelayDist collects end-to-end delays and answers quantiles.
+type DelayDist struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Observe adds one delay sample.
+func (d *DelayDist) Observe(v time.Duration) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *DelayDist) Count() int { return len(d.samples) }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) by nearest-rank; zero
+// when empty.
+func (d *DelayDist) Quantile(p float64) time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Slice(d.samples, func(i, j int) bool { return d.samples[i] < d.samples[j] })
+		d.sorted = true
+	}
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(d.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// Mean returns the average delay.
+func (d *DelayDist) Mean() time.Duration {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / time.Duration(len(d.samples))
+}
+
+// ---------------------------------------------------------------------------
+// Throughput
+
+// Throughput accumulates delivered bytes per window.
+type Throughput struct {
+	window    time.Duration
+	origin    vclock.Time
+	originSet bool
+	bytes     map[int64]int64
+}
+
+// NewThroughput returns an accumulator with the given window.
+func NewThroughput(window time.Duration) *Throughput {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &Throughput{window: window, bytes: make(map[int64]int64)}
+}
+
+// Add records size bytes delivered at time t.
+func (tp *Throughput) Add(t vclock.Time, size int) {
+	if !tp.originSet {
+		tp.origin, tp.originSet = t, true
+	}
+	tp.bytes[int64(t-tp.origin)/int64(tp.window)] += int64(size)
+}
+
+// Series returns bits/second per window.
+func (tp *Throughput) Series() Series {
+	keys := make([]int64, 0, len(tp.bytes))
+	for k := range tp.bytes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make(Series, 0, len(keys))
+	for _, k := range keys {
+		mid := tp.origin.Add(time.Duration(k)*tp.window + tp.window/2)
+		bps := float64(tp.bytes[k]*8) / tp.window.Seconds()
+		out = append(out, Point{T: mid.Seconds(), V: bps})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Record-store analysis (the post-run path the paper feeds from its DB)
+
+// FlowReport summarizes one traffic flow out of a recording.
+type FlowReport struct {
+	Flow      uint16
+	Sent      int
+	Delivered int
+	Dropped   int
+	LossRate  float64
+	MeanDelay time.Duration
+	P99Delay  time.Duration
+	// Jitter is the mean absolute difference between consecutive
+	// deliveries' end-to-end delays (arrival order).
+	Jitter     time.Duration
+	RealTime   Series // loss curve keyed by client stamps
+	ServerTime Series // loss curve keyed by server receive times
+}
+
+// AnalyzeFlow derives a FlowReport for one flow from a recording.
+// Delivery is counted when a packet reaches its addressed destination
+// (Out record with Relay == Dst, or any receiver for broadcasts).
+func AnalyzeFlow(st *record.Store, flow uint16, window time.Duration) FlowReport {
+	return analyzeFlow(st, flow, window, radio.Broadcast, false)
+}
+
+// AnalyzeFlowTo is AnalyzeFlow for a multi-hop flow whose per-hop
+// frames are re-addressed by relays: only arrivals at finalDst count as
+// deliveries, and sends are deduplicated by sequence number so relayed
+// copies are not double-counted.
+func AnalyzeFlowTo(st *record.Store, flow uint16, window time.Duration, finalDst radio.NodeID) FlowReport {
+	return analyzeFlow(st, flow, window, finalDst, true)
+}
+
+func analyzeFlow(st *record.Store, flow uint16, window time.Duration, finalDst radio.NodeID, useFinal bool) FlowReport {
+	rep := FlowReport{Flow: flow}
+	real := NewLossAccum(window)
+	srv := NewLossAccum(window)
+	var delays DelayDist
+
+	// First pass: index sends by seq.
+	type sendInfo struct {
+		stamp vclock.Time // client parallel stamp
+		at    vclock.Time // server receive time
+	}
+	sends := make(map[uint32]sendInfo)
+	st.ForEachPacket(func(p record.Packet) {
+		if p.Flow != flow {
+			return
+		}
+		switch p.Kind {
+		case record.PacketIn:
+			if _, dup := sends[p.Seq]; !dup {
+				sends[p.Seq] = sendInfo{stamp: p.Stamp, at: p.At}
+				rep.Sent++
+				real.Sent(p.Stamp)
+				srv.Sent(p.At)
+			}
+		}
+	})
+	// Second pass: deliveries and drops.
+	delivered := make(map[uint32]bool)
+	var prevDelay time.Duration
+	var jitterSum time.Duration
+	jitterN := 0
+	st.ForEachPacket(func(p record.Packet) {
+		if p.Flow != flow {
+			return
+		}
+		switch p.Kind {
+		case record.PacketOut:
+			if useFinal {
+				if p.Relay != finalDst {
+					return // not the final hop
+				}
+			} else if p.Dst != p.Relay && p.Dst != radio.Broadcast {
+				// A relay hop, not the final delivery.
+				return
+			}
+			if delivered[p.Seq] {
+				return
+			}
+			if si, ok := sends[p.Seq]; ok {
+				delivered[p.Seq] = true
+				rep.Delivered++
+				real.Received(si.stamp)
+				srv.Received(si.at)
+				d := p.At.Sub(si.stamp)
+				delays.Observe(d)
+				if delays.Count() > 1 {
+					diff := d - prevDelay
+					if diff < 0 {
+						diff = -diff
+					}
+					jitterSum += diff
+					jitterN++
+				}
+				prevDelay = d
+			}
+		case record.PacketDrop:
+			rep.Dropped++
+		}
+	})
+	_, _, rep.LossRate = real.Totals()
+	if jitterN > 0 {
+		rep.Jitter = jitterSum / time.Duration(jitterN)
+	}
+	rep.MeanDelay = delays.Mean()
+	rep.P99Delay = delays.Quantile(0.99)
+	rep.RealTime = real.Series()
+	rep.ServerTime = srv.Series()
+	return rep
+}
+
+// Flows lists the application flow labels present in a recording,
+// sorted, excluding the routing control label 0xFFFF.
+func Flows(st *record.Store) []uint16 {
+	seen := make(map[uint16]bool)
+	st.ForEachPacket(func(p record.Packet) {
+		if p.Flow != 0xFFFF {
+			seen[p.Flow] = true
+		}
+	})
+	out := make([]uint16, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AnalyzeAll produces a FlowReport for every application flow in the
+// recording — the post-run summary poem-replay prints.
+func AnalyzeAll(st *record.Store, window time.Duration) []FlowReport {
+	flows := Flows(st)
+	out := make([]FlowReport, 0, len(flows))
+	for _, f := range flows {
+		out = append(out, AnalyzeFlow(st, f, window))
+	}
+	return out
+}

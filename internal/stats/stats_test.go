@@ -1,0 +1,351 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/vclock"
+)
+
+func TestLossAccumBasic(t *testing.T) {
+	l := NewLossAccum(time.Second)
+	// Window 0: 4 sent, 3 received → 25 % loss.
+	for i := 0; i < 4; i++ {
+		l.Sent(vclock.FromMillis(int64(i * 100)))
+	}
+	for i := 0; i < 3; i++ {
+		l.Received(vclock.FromMillis(int64(i * 100)))
+	}
+	// Window 2: 2 sent, 0 received → 100 % loss.
+	l.Sent(vclock.FromMillis(2100))
+	l.Sent(vclock.FromMillis(2200))
+	s := l.Series()
+	if len(s) != 2 {
+		t.Fatalf("series: %v", s)
+	}
+	if math.Abs(s[0].V-0.25) > 1e-9 {
+		t.Errorf("window 0 loss = %v", s[0].V)
+	}
+	if s[1].V != 1 {
+		t.Errorf("window 2 loss = %v", s[1].V)
+	}
+	if math.Abs(s[0].T-0.5) > 1e-9 {
+		t.Errorf("window 0 midpoint = %v", s[0].T)
+	}
+	sent, recv, rate := l.Totals()
+	if sent != 6 || recv != 3 || math.Abs(rate-0.5) > 1e-9 {
+		t.Errorf("Totals = %d %d %v", sent, recv, rate)
+	}
+}
+
+func TestLossAccumClampsDuplicates(t *testing.T) {
+	l := NewLossAccum(time.Second)
+	l.Sent(0)
+	l.Received(0)
+	l.Received(0) // broadcast duplicate
+	s := l.Series()
+	if s[0].V != 0 {
+		t.Errorf("duplicate deliveries drove loss negative: %v", s[0].V)
+	}
+	_, recv, _ := l.Totals()
+	if recv != 1 {
+		t.Errorf("Totals recv = %d", recv)
+	}
+}
+
+func TestLossAccumEmpty(t *testing.T) {
+	l := NewLossAccum(time.Second)
+	if len(l.Series()) != 0 {
+		t.Error("empty series")
+	}
+	if s, r, rate := l.Totals(); s != 0 || r != 0 || rate != 0 {
+		t.Error("empty totals")
+	}
+}
+
+func TestLossAccumDefaultWindow(t *testing.T) {
+	l := NewLossAccum(0)
+	l.Sent(0)
+	l.Sent(vclock.FromMillis(999)) // same 1s default window
+	if len(l.Series()) != 1 {
+		t.Error("default window not applied")
+	}
+}
+
+func TestSeriesMeanAndDiff(t *testing.T) {
+	a := Series{{0, 0.1}, {1, 0.2}, {2, 0.3}}
+	if math.Abs(a.Mean()-0.2) > 1e-12 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	b := Series{{0, 0.15}, {1, 0.2}, {2, 0.4}, {3, 9}}
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+	if !math.IsNaN(Series{}.Mean()) {
+		t.Error("empty Mean should be NaN")
+	}
+	if got := (Series{{1.0, 0.5}}).String(); got != "(1.0,0.500)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDelayDist(t *testing.T) {
+	var d DelayDist
+	if d.Quantile(0.5) != 0 || d.Mean() != 0 {
+		t.Error("empty dist")
+	}
+	for i := 1; i <= 100; i++ {
+		d.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if d.Count() != 100 {
+		t.Error("Count")
+	}
+	if got := d.Quantile(0.5); got != 50*time.Millisecond {
+		t.Errorf("median = %v", got)
+	}
+	if got := d.Quantile(0); got != time.Millisecond {
+		t.Errorf("min = %v", got)
+	}
+	if got := d.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := d.Quantile(0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := d.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	// Observing after a quantile query must re-sort.
+	d.Observe(time.Nanosecond)
+	if got := d.Quantile(0); got != time.Nanosecond {
+		t.Errorf("re-sort failed: %v", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput(time.Second)
+	// 1 MB in window 0, 0.5 MB in window 1.
+	tp.Add(vclock.FromMillis(100), 500_000)
+	tp.Add(vclock.FromMillis(900), 500_000)
+	tp.Add(vclock.FromMillis(1500), 500_000)
+	s := tp.Series()
+	if len(s) != 2 {
+		t.Fatalf("series: %v", s)
+	}
+	if math.Abs(s[0].V-8e6) > 1 {
+		t.Errorf("window 0 = %v bps", s[0].V)
+	}
+	if math.Abs(s[1].V-4e6) > 1 {
+		t.Errorf("window 1 = %v bps", s[1].V)
+	}
+}
+
+// Build a recording of a flow with known loss and verify AnalyzeFlow.
+func TestAnalyzeFlow(t *testing.T) {
+	st := record.NewStore()
+	const flow = 3
+	rng := rand.New(rand.NewSource(5))
+	sent, delivered := 0, 0
+	for seq := uint32(0); seq < 400; seq++ {
+		at := vclock.FromMillis(int64(seq) * 25) // 40 pkt/s for 10 s
+		stamp := at.Add(-2 * time.Millisecond)
+		st.AddPacket(record.Packet{
+			Kind: record.PacketIn, At: at, Stamp: stamp,
+			Src: 1, Dst: 3, Flow: flow, Seq: seq, Size: 1000,
+		})
+		sent++
+		if rng.Float64() < 0.7 { // 30 % loss
+			st.AddPacket(record.Packet{
+				Kind: record.PacketOut, At: at.Add(5 * time.Millisecond), Stamp: stamp,
+				Src: 1, Dst: 3, Relay: 3, Flow: flow, Seq: seq, Size: 1000,
+			})
+			delivered++
+		} else {
+			st.AddPacket(record.Packet{
+				Kind: record.PacketDrop, At: at, Stamp: stamp,
+				Src: 1, Dst: 3, Relay: 3, Flow: flow, Seq: seq, Size: 1000,
+			})
+		}
+	}
+	// Noise from another flow must be ignored.
+	st.AddPacket(record.Packet{Kind: record.PacketIn, Flow: 9, Seq: 1})
+
+	rep := AnalyzeFlow(st, flow, time.Second)
+	if rep.Sent != sent || rep.Delivered != delivered {
+		t.Fatalf("sent/delivered: %d/%d want %d/%d", rep.Sent, rep.Delivered, sent, delivered)
+	}
+	wantLoss := 1 - float64(delivered)/float64(sent)
+	if math.Abs(rep.LossRate-wantLoss) > 1e-9 {
+		t.Errorf("LossRate = %v want %v", rep.LossRate, wantLoss)
+	}
+	if math.Abs(rep.LossRate-0.3) > 0.06 {
+		t.Errorf("statistical loss = %v, want ≈0.3", rep.LossRate)
+	}
+	if len(rep.RealTime) != 10 {
+		t.Errorf("real-time series has %d windows, want 10", len(rep.RealTime))
+	}
+	// Delay = 5ms forward + 2ms stamp offset = 7ms for every delivery.
+	if rep.MeanDelay != 7*time.Millisecond {
+		t.Errorf("MeanDelay = %v", rep.MeanDelay)
+	}
+	if rep.P99Delay != 7*time.Millisecond {
+		t.Errorf("P99Delay = %v", rep.P99Delay)
+	}
+	if rep.Dropped != sent-delivered {
+		t.Errorf("Dropped = %d", rep.Dropped)
+	}
+}
+
+// Relay hops (Out records whose Relay ≠ Dst) must not count as
+// deliveries — only the final hop to the addressed destination does.
+func TestAnalyzeFlowIgnoresRelayHops(t *testing.T) {
+	st := record.NewStore()
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: 10, Stamp: 9, Src: 1, Dst: 3, Flow: 1, Seq: 0})
+	// Hop to the relay VMN2.
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: 12, Stamp: 9, Src: 1, Dst: 3, Relay: 2, Flow: 1, Seq: 0})
+	rep := AnalyzeFlow(st, 1, time.Second)
+	if rep.Delivered != 0 {
+		t.Fatalf("relay hop counted as delivery")
+	}
+	// Final hop to VMN3.
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: 15, Stamp: 9, Src: 2, Dst: 3, Relay: 3, Flow: 1, Seq: 0})
+	rep = AnalyzeFlow(st, 1, time.Second)
+	if rep.Delivered != 1 {
+		t.Fatalf("final hop not counted")
+	}
+	// A duplicate delivery must not double-count.
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: 16, Stamp: 9, Src: 2, Dst: 3, Relay: 3, Flow: 1, Seq: 0})
+	rep = AnalyzeFlow(st, 1, time.Second)
+	if rep.Delivered != 1 {
+		t.Fatalf("duplicate delivery double-counted")
+	}
+}
+
+func TestAnalyzeFlowBroadcast(t *testing.T) {
+	st := record.NewStore()
+	st.AddPacket(record.Packet{Kind: record.PacketIn, At: 10, Stamp: 9, Src: 1, Dst: radio.Broadcast, Flow: 2, Seq: 0})
+	st.AddPacket(record.Packet{Kind: record.PacketOut, At: 12, Stamp: 9, Src: 1, Dst: radio.Broadcast, Relay: 5, Flow: 2, Seq: 0})
+	rep := AnalyzeFlow(st, 2, time.Second)
+	if rep.Delivered != 1 {
+		t.Error("broadcast delivery not counted")
+	}
+}
+
+// Property (testing/quick): for any event stream, loss-rate values stay
+// in [0,1], window midpoints are strictly increasing, and the totals
+// are consistent.
+func TestLossAccumInvariantsQuick(t *testing.T) {
+	f := func(events []int32) bool {
+		l := NewLossAccum(time.Second)
+		for _, e := range events {
+			ts := vclock.FromMillis(int64(uint32(e) % 60000))
+			if e%2 == 0 {
+				l.Sent(ts)
+			} else {
+				l.Received(ts)
+			}
+		}
+		s := l.Series()
+		prev := -1e18
+		for _, p := range s {
+			if p.V < 0 || p.V > 1 {
+				return false
+			}
+			if p.T <= prev {
+				return false
+			}
+			prev = p.T
+		}
+		sent, recv, rate := l.Totals()
+		if recv > sent || rate < 0 || rate > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DelayDist quantiles are monotone in p and bounded by
+// min/max of the samples.
+func TestDelayDistQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d DelayDist
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for _, v := range raw {
+			dv := time.Duration(v % 1e9)
+			d.Observe(dv)
+			if dv < min {
+				min = dv
+			}
+			if dv > max {
+				max = dv
+			}
+		}
+		prev := time.Duration(-1)
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			q := d.Quantile(p)
+			if q < prev || q < min || q > max {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowsAndAnalyzeAll(t *testing.T) {
+	st := record.NewStore()
+	st.AddPacket(record.Packet{Kind: record.PacketIn, Flow: 2, Seq: 1, At: 10, Stamp: 9})
+	st.AddPacket(record.Packet{Kind: record.PacketIn, Flow: 1, Seq: 1, At: 11, Stamp: 9})
+	st.AddPacket(record.Packet{Kind: record.PacketIn, Flow: 0xFFFF, Seq: 1}) // control: excluded
+	flows := Flows(st)
+	if len(flows) != 2 || flows[0] != 1 || flows[1] != 2 {
+		t.Errorf("Flows = %v", flows)
+	}
+	reps := AnalyzeAll(st, time.Second)
+	if len(reps) != 2 || reps[0].Flow != 1 || reps[1].Flow != 2 {
+		t.Errorf("AnalyzeAll = %+v", reps)
+	}
+	if reps[0].Sent != 1 {
+		t.Errorf("flow 1 sent = %d", reps[0].Sent)
+	}
+}
+
+func TestJitterComputation(t *testing.T) {
+	st := record.NewStore()
+	// Three deliveries with delays 10ms, 14ms, 12ms → diffs 4ms, 2ms →
+	// jitter 3ms.
+	for i, d := range []int64{10, 14, 12} {
+		seq := uint32(i)
+		stamp := vclock.FromMillis(int64(i) * 100)
+		st.AddPacket(record.Packet{Kind: record.PacketIn, At: stamp, Stamp: stamp, Src: 1, Dst: 2, Flow: 1, Seq: seq})
+		st.AddPacket(record.Packet{
+			Kind: record.PacketOut, At: stamp.Add(time.Duration(d) * time.Millisecond),
+			Stamp: stamp, Src: 1, Dst: 2, Relay: 2, Flow: 1, Seq: seq,
+		})
+	}
+	rep := AnalyzeFlow(st, 1, time.Second)
+	if rep.Jitter != 3*time.Millisecond {
+		t.Errorf("Jitter = %v, want 3ms", rep.Jitter)
+	}
+	// A single delivery has no jitter.
+	st2 := record.NewStore()
+	st2.AddPacket(record.Packet{Kind: record.PacketIn, At: 1, Stamp: 1, Flow: 1, Seq: 0, Dst: 2})
+	st2.AddPacket(record.Packet{Kind: record.PacketOut, At: 2, Stamp: 1, Flow: 1, Seq: 0, Dst: 2, Relay: 2})
+	if rep := AnalyzeFlow(st2, 1, time.Second); rep.Jitter != 0 {
+		t.Errorf("single-delivery jitter = %v", rep.Jitter)
+	}
+}

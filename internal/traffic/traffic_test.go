@@ -1,0 +1,156 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestCBRGap(t *testing.T) {
+	// Table 3's workload: 4 Mb/s. With 1000-byte packets that is 500
+	// packets/s → 2 ms gaps.
+	c := CBR{RateBps: 4e6, PacketSize: 1000}
+	if got := c.NextGap(nil); got != 2*time.Millisecond {
+		t.Errorf("gap = %v", got)
+	}
+	if pps := c.PacketsPerSecond(); math.Abs(pps-500) > 1e-9 {
+		t.Errorf("pps = %v", pps)
+	}
+	if (CBR{}).NextGap(nil) != time.Second {
+		t.Error("degenerate CBR guard")
+	}
+}
+
+func TestPoissonGapMean(t *testing.T) {
+	p := Poisson{MeanGap: 10 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(rng)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	mean := sum / n
+	if mean < 9*time.Millisecond || mean > 11*time.Millisecond {
+		t.Errorf("empirical mean gap %v, want ≈10ms", mean)
+	}
+	if (Poisson{}).NextGap(rng) != time.Second {
+		t.Error("degenerate Poisson guard")
+	}
+}
+
+func TestBurstyAlternates(t *testing.T) {
+	b := &Bursty{On: 30 * time.Millisecond, Off: 100 * time.Millisecond, Gap: 10 * time.Millisecond}
+	var gaps []time.Duration
+	for i := 0; i < 10; i++ {
+		gaps = append(gaps, b.NextGap(nil))
+	}
+	// First gap is the off period, then on-period gaps, then off again.
+	if gaps[0] != 100*time.Millisecond {
+		t.Errorf("gaps[0] = %v", gaps[0])
+	}
+	if gaps[1] != 10*time.Millisecond || gaps[2] != 10*time.Millisecond {
+		t.Errorf("burst gaps: %v", gaps[:4])
+	}
+	sawOff := false
+	for _, g := range gaps[1:] {
+		if g == 100*time.Millisecond {
+			sawOff = true
+		}
+	}
+	if !sawOff {
+		t.Errorf("burst never closed: %v", gaps)
+	}
+}
+
+func TestPumpSendsExpectedCount(t *testing.T) {
+	clk := vclock.NewSystem(1000) // 1ms wall = 1s emulated
+	var mu sync.Mutex
+	var seqs []uint32
+	pump := NewPump(clk, CBR{RateBps: 8e3, PacketSize: 100}, 100, func(seq uint32, payload []byte) error {
+		mu.Lock()
+		seqs = append(seqs, seq)
+		mu.Unlock()
+		if len(payload) != 100 {
+			t.Errorf("payload size %d", len(payload))
+		}
+		return nil
+	}, 1)
+	// 8 kb/s with 800-bit packets = 10 packets/s; run 5 emulated secs.
+	sent, err := pump.Run(clk.Now().Add(5 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent < 45 || sent > 50 {
+		t.Errorf("sent %d, want ≈50", sent)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != uint32(i+1) {
+			t.Fatalf("seq %d at position %d", s, i)
+		}
+	}
+}
+
+func TestPumpStop(t *testing.T) {
+	clk := vclock.NewSystem(1)
+	pump := NewPump(clk, CBR{RateBps: 1, PacketSize: 1000}, 10, func(uint32, []byte) error { return nil }, 1)
+	done := make(chan error, 1)
+	go func() {
+		// The 8000s gap must land inside the horizon or Run returns
+		// before ever waiting.
+		_, err := pump.Run(clk.Now().Add(10000 * time.Hour))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	pump.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pump did not stop")
+	}
+	pump.Stop() // idempotent
+}
+
+func TestPumpSendErrorAborts(t *testing.T) {
+	clk := vclock.NewSystem(10000)
+	boom := errors.New("link down")
+	pump := NewPump(clk, CBR{RateBps: 1e6, PacketSize: 100}, 10, func(seq uint32, _ []byte) error {
+		if seq == 3 {
+			return boom
+		}
+		return nil
+	}, 1)
+	sent, err := pump.Run(clk.Now().Add(time.Hour))
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if sent != 3 {
+		t.Errorf("sent = %d", sent)
+	}
+}
+
+func TestPumpZeroSizePayload(t *testing.T) {
+	clk := vclock.NewSystem(10000)
+	pump := NewPump(clk, CBR{RateBps: 1e6, PacketSize: 125}, -5, func(_ uint32, p []byte) error {
+		if len(p) != 0 {
+			t.Errorf("payload = %d bytes", len(p))
+		}
+		return nil
+	}, 1)
+	if _, err := pump.Run(clk.Now().Add(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+}

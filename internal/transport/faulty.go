@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Faulty wraps a Conn with injected impairments — fixed delays on each
+// direction, probabilistic message drops, or a hard error after N
+// sends. Tests and the clock-sync asymmetry experiment (E6) use it; the
+// emulated wireless impairments live in linkmodel, not here (this is
+// the *real* client↔server LAN, which the paper assumes fast but which
+// we still want to stress).
+type Faulty struct {
+	inner Conn
+
+	// SendDelay and RecvDelay stall each direction.
+	SendDelay, RecvDelay time.Duration
+	// DropProb silently discards sends with this probability.
+	DropProb float64
+	// FailAfter, when positive, makes Send return ErrClosed after that
+	// many successful sends (connection-death injection).
+	FailAfter int
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sends int
+}
+
+// NewFaulty wraps inner. seed feeds the drop die.
+func NewFaulty(inner Conn, seed int64) *Faulty {
+	return &Faulty{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Send implements Conn.
+func (f *Faulty) Send(m wire.Msg) error {
+	f.mu.Lock()
+	if f.FailAfter > 0 && f.sends >= f.FailAfter {
+		f.mu.Unlock()
+		f.inner.Close()
+		return ErrClosed
+	}
+	drop := f.DropProb > 0 && f.rng.Float64() < f.DropProb
+	f.sends++
+	f.mu.Unlock()
+	if f.SendDelay > 0 {
+		time.Sleep(f.SendDelay)
+	}
+	if drop {
+		return nil // silently lost, like a cut cable mid-datagram
+	}
+	return f.inner.Send(m)
+}
+
+// Recv implements Conn.
+func (f *Faulty) Recv() (wire.Msg, error) {
+	m, err := f.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if f.RecvDelay > 0 {
+		time.Sleep(f.RecvDelay)
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// Label implements Conn.
+func (f *Faulty) Label() string { return "faulty(" + f.inner.Label() + ")" }

@@ -1,0 +1,265 @@
+// Package transport carries wire messages between emulation clients and
+// the emulation server. Two interchangeable implementations exist:
+//
+//   - TCP (ListenTCP/DialTCP): the paper's deployment — clients and
+//     server as ordinary processes connected via TCP sockets, which is
+//     what makes PoEm portable across platforms.
+//   - In-process (NewInprocListener): both ends inside one process,
+//     used by tests, benchmarks and the compressed-time experiment
+//     harness where socket overhead would only add noise.
+//
+// A Conn is safe for one concurrent reader plus any number of
+// concurrent senders; Send serializes internally, matching how the
+// server's sending threads share a client connection (§3.2 step 6).
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a bidirectional, reliable, ordered message connection.
+type Conn interface {
+	// Send transmits one message. Safe for concurrent use.
+	Send(m wire.Msg) error
+	// Recv blocks for the next message. io.EOF signals an orderly end.
+	// Only one goroutine may call Recv.
+	Recv() (wire.Msg, error)
+	// Close tears the connection down, unblocking Recv on both ends.
+	Close() error
+	// Label describes the peer for logs.
+	Label() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the dialable address ("host:port" for TCP).
+	Addr() string
+}
+
+// Dialer opens a fresh connection to the server. Clients hold a Dialer
+// rather than an address so the two transports stay interchangeable.
+type Dialer func() (Conn, error)
+
+// ---------------------------------------------------------------------------
+// TCP transport
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	mu sync.Mutex // guards bw and write ordering
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if t, ok := c.(*net.TCPConn); ok {
+		// The emulator forwards small frames under latency pressure;
+		// Nagle would batch them.
+		t.SetNoDelay(true)
+	}
+	return &tcpConn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+func (t *tcpConn) Send(m wire.Msg) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := wire.WriteMsg(t.bw, m); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpConn) Recv() (wire.Msg, error) {
+	m, err := wire.ReadMsg(t.br)
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			err = io.EOF
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+func (t *tcpConn) Close() error  { return t.c.Close() }
+func (t *tcpConn) Label() string { return t.c.RemoteAddr().String() }
+
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP starts a TCP listener. Pass "127.0.0.1:0" to let the kernel
+// choose a port; read it back from Addr.
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// DialTCP connects to a PoEm server at addr.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// TCPDialer returns a Dialer for addr.
+func TCPDialer(addr string) Dialer {
+	return func() (Conn, error) { return DialTCP(addr) }
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+
+// pipeShared is the state common to both halves of an in-process pipe.
+type pipeShared struct {
+	once sync.Once
+	done chan struct{}
+}
+
+func (s *pipeShared) close() { s.once.Do(func() { close(s.done) }) }
+
+type pipeConn struct {
+	shared *pipeShared
+	in     <-chan wire.Msg
+	out    chan<- wire.Msg
+	label  string
+}
+
+// Pipe returns a connected pair of in-process Conns. Messages are
+// passed by value through buffered channels; senders must not mutate a
+// message after Send (the codec-based TCP path copies implicitly, this
+// path does not).
+func Pipe() (client, server Conn) {
+	const depth = 512
+	a2b := make(chan wire.Msg, depth)
+	b2a := make(chan wire.Msg, depth)
+	shared := &pipeShared{done: make(chan struct{})}
+	return &pipeConn{shared: shared, in: b2a, out: a2b, label: "inproc-server"},
+		&pipeConn{shared: shared, in: a2b, out: b2a, label: "inproc-client"}
+}
+
+func (p *pipeConn) Send(m wire.Msg) error {
+	select {
+	case <-p.shared.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.out <- m:
+		return nil
+	case <-p.shared.done:
+		return ErrClosed
+	}
+}
+
+func (p *pipeConn) Recv() (wire.Msg, error) {
+	select {
+	case m := <-p.in:
+		return m, nil
+	case <-p.shared.done:
+		// Drain anything already queued before reporting EOF, matching
+		// TCP semantics where in-flight bytes remain readable.
+		select {
+		case m := <-p.in:
+			return m, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.shared.close()
+	return nil
+}
+
+func (p *pipeConn) Label() string { return p.label }
+
+// inprocListener hands the server halves of Pipe pairs to Accept.
+type inprocListener struct {
+	mu     sync.Mutex
+	accept chan Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+// NewInprocListener returns an in-process Listener. Use its Dial method
+// (or Dialer) from clients.
+func NewInprocListener() *InprocListener {
+	return &InprocListener{inner: &inprocListener{
+		accept: make(chan Conn, 64),
+		done:   make(chan struct{}),
+	}}
+}
+
+// InprocListener is the concrete in-process listener; it satisfies
+// Listener and additionally offers Dial.
+type InprocListener struct {
+	inner *inprocListener
+}
+
+// Accept implements Listener.
+func (l *InprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.inner.accept:
+		return c, nil
+	case <-l.inner.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Listener.
+func (l *InprocListener) Close() error {
+	l.inner.once.Do(func() { close(l.inner.done) })
+	return nil
+}
+
+// Addr implements Listener.
+func (l *InprocListener) Addr() string { return "inproc" }
+
+// Dial opens a new client connection to this listener.
+func (l *InprocListener) Dial() (Conn, error) {
+	select {
+	case <-l.inner.done:
+		return nil, ErrClosed
+	default:
+	}
+	client, server := Pipe()
+	select {
+	case l.inner.accept <- server:
+		return client, nil
+	case <-l.inner.done:
+		return nil, ErrClosed
+	}
+}
+
+// Dialer returns a Dialer bound to this listener.
+func (l *InprocListener) Dialer() Dialer { return l.Dial }

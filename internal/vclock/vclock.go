@@ -1,0 +1,242 @@
+// Package vclock implements the emulation clock that PoEm's parallel
+// time-stamping rests on, together with the lightweight client/server
+// clock-synchronization scheme of the paper's Figure 5 (§4.1).
+//
+// All emulation timestamps are vclock.Time values: nanoseconds since an
+// emulation epoch. The server's clock is the unique reference; every
+// client estimates its offset from the server and stamps its own
+// traffic against the estimated server clock, so stamping happens in
+// parallel at the edges rather than serially at the server's single
+// incoming interface.
+//
+// Two concrete clocks are provided:
+//
+//   - System: the wall clock, optionally time-scaled, used for real
+//     emulation runs (a scale of 100 makes 1 s of emulated time pass in
+//     10 ms of wall time, compressing long scenarios for tests).
+//   - Manual: an explicitly advanced clock for deterministic tests.
+//
+// Both support cancellable waiting, which the forward scheduler's
+// scanner thread uses to sleep until the next packet's departure time.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is an instant on the emulation clock, in nanoseconds since the
+// emulation epoch (the moment the server clock was created).
+type Time int64
+
+// Common conversion helpers.
+func FromDuration(d time.Duration) Time { return Time(d) }
+func FromSeconds(s float64) Time        { return Time(s * float64(time.Second)) }
+func FromMillis(ms int64) Time          { return Time(ms) * Time(time.Millisecond) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Add returns t shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before and After order instants.
+func (t Time) Before(u Time) bool { return t < u }
+func (t Time) After(u Time) bool  { return t > u }
+
+// String formats t as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Clock supplies the current emulation time.
+type Clock interface {
+	Now() Time
+}
+
+// WaitClock is a Clock that can also block until a target instant,
+// waking early when cancel fires. Wait reports whether the target time
+// was reached (false means cancelled first).
+type WaitClock interface {
+	Clock
+	Wait(t Time, cancel <-chan struct{}) bool
+}
+
+// System is a wall-clock-backed emulation clock. Emulation time is
+// (wall - start) * scale, so scale > 1 compresses emulated time into
+// less wall time. System is safe for concurrent use.
+type System struct {
+	start time.Time
+	scale float64
+}
+
+// NewSystem returns a System clock starting at emulation time 0 now.
+// scale must be positive; 1 means real time.
+func NewSystem(scale float64) *System {
+	if scale <= 0 {
+		panic("vclock: scale must be positive")
+	}
+	return &System{start: time.Now(), scale: scale}
+}
+
+// Scale returns the clock's time-scale factor.
+func (s *System) Scale() float64 { return s.scale }
+
+// Now returns the current emulation time.
+func (s *System) Now() Time {
+	return Time(float64(time.Since(s.start)) * s.scale)
+}
+
+// Wait blocks until emulation time t or cancel, whichever first.
+func (s *System) Wait(t Time, cancel <-chan struct{}) bool {
+	for {
+		now := s.Now()
+		if now >= t {
+			return true
+		}
+		wall := time.Duration(float64(t-now) / s.scale)
+		if wall < time.Microsecond {
+			wall = time.Microsecond
+		}
+		timer := time.NewTimer(wall)
+		select {
+		case <-timer.C:
+			// Loop: scaling rounding may leave us slightly short.
+		case <-cancel:
+			timer.Stop()
+			return false
+		}
+	}
+}
+
+// Manual is a deterministic clock advanced explicitly by tests and the
+// virtual-time experiment harness. The zero value is ready to use and
+// reads 0 until advanced. Manual is safe for concurrent use.
+type Manual struct {
+	mu      sync.Mutex
+	now     Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline Time
+	ch       chan struct{}
+}
+
+// NewManual returns a Manual clock set to start.
+func NewManual(start Time) *Manual { return &Manual{now: start} }
+
+// Now returns the current manual time.
+func (m *Manual) Now() Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Set moves the clock to t. Moving backwards panics: emulation time is
+// monotonic by construction and a reversal indicates a harness bug.
+func (m *Manual) Set(t Time) {
+	m.mu.Lock()
+	if t < m.now {
+		m.mu.Unlock()
+		panic("vclock: manual clock moved backwards")
+	}
+	m.now = t
+	fired := m.collectDueLocked()
+	m.mu.Unlock()
+	for _, w := range fired {
+		close(w.ch)
+	}
+}
+
+// Advance moves the clock forward by d.
+func (m *Manual) Advance(d time.Duration) { m.Set(m.Now().Add(d)) }
+
+// NextDeadline returns the earliest pending waiter deadline, if any.
+// The virtual-time harness uses it to jump straight to the next event.
+func (m *Manual) NextDeadline() (Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best Time
+	found := false
+	for _, w := range m.waiters {
+		if !found || w.deadline < best {
+			best, found = w.deadline, true
+		}
+	}
+	return best, found
+}
+
+func (m *Manual) collectDueLocked() []*manualWaiter {
+	var fired []*manualWaiter
+	rest := m.waiters[:0]
+	for _, w := range m.waiters {
+		if w.deadline <= m.now {
+			fired = append(fired, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	m.waiters = rest
+	return fired
+}
+
+// Wait blocks until the manual clock reaches t or cancel fires.
+func (m *Manual) Wait(t Time, cancel <-chan struct{}) bool {
+	m.mu.Lock()
+	if m.now >= t {
+		m.mu.Unlock()
+		return true
+	}
+	w := &manualWaiter{deadline: t, ch: make(chan struct{})}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	select {
+	case <-w.ch:
+		return true
+	case <-cancel:
+		m.mu.Lock()
+		for i, x := range m.waiters {
+			if x == w {
+				m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return false
+	}
+}
+
+// Offset is a clock derived from a base clock plus a fixed shift. The
+// Drifting wrapper below adds rate error; Offset models pure skew.
+type Offset struct {
+	Base  Clock
+	Shift time.Duration
+}
+
+// Now returns the shifted time.
+func (o Offset) Now() Time { return o.Base.Now().Add(o.Shift) }
+
+// Drifting wraps a base clock with a rate error, modelling a client
+// whose oscillator runs fast or slow relative to the server. Rate 1.0
+// is perfect; 1.0001 gains 100 µs per second. Used for failure
+// injection in clock-sync tests.
+type Drifting struct {
+	base   Clock
+	rate   float64
+	origin Time
+}
+
+// NewDrifting returns a clock that drifts away from base at the given
+// rate, anchored so both clocks agree at the moment of creation.
+func NewDrifting(base Clock, rate float64) *Drifting {
+	return &Drifting{base: base, rate: rate, origin: base.Now()}
+}
+
+// Now returns the drifted time.
+func (d *Drifting) Now() Time {
+	elapsed := d.base.Now() - d.origin
+	return d.origin + Time(float64(elapsed)*d.rate)
+}

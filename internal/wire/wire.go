@@ -1,0 +1,391 @@
+// Package wire defines PoEm's TCP/IP wire protocol: the framing and
+// message codec spoken between emulation clients and the emulation
+// server (paper §3, Figure 4). Everything a client sends — registration,
+// clock-sync exchanges, emulated data packets — travels as a length-
+// prefixed frame over a byte stream, so the protocol is independent of
+// the platform underneath, which is what makes the emulator "portable".
+//
+// Frame layout (big endian):
+//
+//	uint32  body length (type byte included)
+//	uint8   message type
+//	[]byte  message body
+//
+// Data frames carry the emulated MANET packet together with the
+// client-side emulation-clock timestamp — the parallel time-stamping
+// that distinguishes PoEm from serial, server-stamped designs.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/radio"
+	"repro/internal/vclock"
+)
+
+// Version is the protocol version carried in Hello frames.
+const Version uint16 = 1
+
+// MaxFrame bounds a frame body; larger frames are rejected as corrupt.
+const MaxFrame = 1 << 20
+
+// MaxPayload bounds an emulated packet's payload.
+const MaxPayload = 64 << 10
+
+// Type tags a frame.
+type Type uint8
+
+// Frame types.
+const (
+	TypeInvalid   Type = iota
+	TypeHello          // client → server: register as a VMN
+	TypeHelloAck       // server → client: assigned node ID
+	TypeSyncReq        // client → server: Figure 5 step 1
+	TypeSyncReply      // server → client: Figure 5 step 3
+	TypeData           // either direction: an emulated packet
+	TypeEvent          // server → client: scene notification
+	TypeBye            // either direction: orderly shutdown
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "Hello"
+	case TypeHelloAck:
+		return "HelloAck"
+	case TypeSyncReq:
+		return "SyncReq"
+	case TypeSyncReply:
+		return "SyncReply"
+	case TypeData:
+		return "Data"
+	case TypeEvent:
+		return "Event"
+	case TypeBye:
+		return "Bye"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrShortBody     = errors.New("wire: truncated message body")
+	ErrUnknownType   = errors.New("wire: unknown frame type")
+	ErrBadPayloadLen = errors.New("wire: payload length exceeds MaxPayload")
+)
+
+// Msg is any protocol message. Value and pointer forms both satisfy
+// it; ReadMsg always returns pointers.
+type Msg interface {
+	Type() Type
+	// appendBody serializes the message body onto b.
+	appendBody(b []byte) []byte
+}
+
+// Hello registers the client as a virtual MANET node. ProposedID may be
+// radio.Broadcast to let the server assign an ID.
+type Hello struct {
+	Ver        uint16
+	ProposedID radio.NodeID
+}
+
+// Type implements Msg.
+func (Hello) Type() Type { return TypeHello }
+
+func (m Hello) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.Ver)
+	return binary.BigEndian.AppendUint32(b, uint32(m.ProposedID))
+}
+
+func (m *Hello) readBody(b []byte) error {
+	if len(b) != 6 {
+		return ErrShortBody
+	}
+	m.Ver = binary.BigEndian.Uint16(b)
+	m.ProposedID = radio.NodeID(binary.BigEndian.Uint32(b[2:]))
+	return nil
+}
+
+// HelloAck confirms registration.
+type HelloAck struct {
+	Assigned  radio.NodeID
+	ServerNow vclock.Time // coarse first estimate before real sync
+}
+
+// Type implements Msg.
+func (HelloAck) Type() Type { return TypeHelloAck }
+
+func (m HelloAck) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Assigned))
+	return binary.BigEndian.AppendUint64(b, uint64(m.ServerNow))
+}
+
+func (m *HelloAck) readBody(b []byte) error {
+	if len(b) != 12 {
+		return ErrShortBody
+	}
+	m.Assigned = radio.NodeID(binary.BigEndian.Uint32(b))
+	m.ServerNow = vclock.Time(binary.BigEndian.Uint64(b[4:]))
+	return nil
+}
+
+// SyncReq is Figure 5 step 1: the client's local clock reading tc1.
+type SyncReq struct {
+	TC1 vclock.Time
+}
+
+// Type implements Msg.
+func (SyncReq) Type() Type { return TypeSyncReq }
+
+func (m SyncReq) appendBody(b []byte) []byte {
+	return binary.BigEndian.AppendUint64(b, uint64(m.TC1))
+}
+
+func (m *SyncReq) readBody(b []byte) error {
+	if len(b) != 8 {
+		return ErrShortBody
+	}
+	m.TC1 = vclock.Time(binary.BigEndian.Uint64(b))
+	return nil
+}
+
+// SyncReply is Figure 5 step 3. The paper's reply carries ts3 and
+// (tc1+ts3-ts2); we carry tc1, ts2 and ts3 explicitly — the same
+// information, but the client can additionally validate causality.
+type SyncReply struct {
+	TC1, TS2, TS3 vclock.Time
+}
+
+// Type implements Msg.
+func (SyncReply) Type() Type { return TypeSyncReply }
+
+func (m SyncReply) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, uint64(m.TC1))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.TS2))
+	return binary.BigEndian.AppendUint64(b, uint64(m.TS3))
+}
+
+func (m *SyncReply) readBody(b []byte) error {
+	if len(b) != 24 {
+		return ErrShortBody
+	}
+	m.TC1 = vclock.Time(binary.BigEndian.Uint64(b))
+	m.TS2 = vclock.Time(binary.BigEndian.Uint64(b[8:]))
+	m.TS3 = vclock.Time(binary.BigEndian.Uint64(b[16:]))
+	return nil
+}
+
+// Packet is one emulated MANET packet.
+type Packet struct {
+	Src     radio.NodeID
+	Dst     radio.NodeID // radio.Broadcast for channel-wide broadcast
+	Channel radio.ChannelID
+	Flow    uint16 // traffic-flow label, used by statistics
+	Seq     uint32
+	Stamp   vclock.Time // client emulation clock at send (parallel stamp)
+	Payload []byte
+}
+
+// Size returns the emulated packet size in bytes used by the bandwidth
+// term of the link model: header overhead plus payload.
+func (p Packet) Size() int { return packetHeaderSize + len(p.Payload) }
+
+// packetHeaderSize approximates the over-the-air header of the emulated
+// MAC/IP encapsulation.
+const packetHeaderSize = 28
+
+// Data carries an emulated packet.
+type Data struct {
+	Pkt Packet
+}
+
+// Type implements Msg.
+func (Data) Type() Type { return TypeData }
+
+func (m Data) appendBody(b []byte) []byte {
+	p := &m.Pkt
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(p.Dst))
+	b = binary.BigEndian.AppendUint16(b, uint16(p.Channel))
+	b = binary.BigEndian.AppendUint16(b, p.Flow)
+	b = binary.BigEndian.AppendUint32(b, p.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(p.Stamp))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(p.Payload)))
+	return append(b, p.Payload...)
+}
+
+func (m *Data) readBody(b []byte) error {
+	const fixed = 4 + 4 + 2 + 2 + 4 + 8 + 4
+	if len(b) < fixed {
+		return ErrShortBody
+	}
+	p := &m.Pkt
+	p.Src = radio.NodeID(binary.BigEndian.Uint32(b))
+	p.Dst = radio.NodeID(binary.BigEndian.Uint32(b[4:]))
+	p.Channel = radio.ChannelID(binary.BigEndian.Uint16(b[8:]))
+	p.Flow = binary.BigEndian.Uint16(b[10:])
+	p.Seq = binary.BigEndian.Uint32(b[12:])
+	p.Stamp = vclock.Time(binary.BigEndian.Uint64(b[16:]))
+	n := binary.BigEndian.Uint32(b[24:])
+	if n > MaxPayload {
+		return ErrBadPayloadLen
+	}
+	if len(b) != fixed+int(n) {
+		return ErrShortBody
+	}
+	p.Payload = append([]byte(nil), b[fixed:]...)
+	return nil
+}
+
+// EventKind enumerates scene notifications the server pushes to a
+// client about its own VMN.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventRadios EventKind = iota + 1 // the VMN's radio set changed
+	EventMoved                       // the VMN was moved by the operator
+	EventPaused                      // emulation paused/resumed (Arg: 0/1)
+)
+
+// Event notifies a client of a scene change affecting it. The fields
+// are a compact generic encoding: Kind selects the meaning of Arg and
+// Radios.
+type Event struct {
+	Kind   EventKind
+	Arg    int64
+	Radios []radio.Radio // for EventRadios
+}
+
+// Type implements Msg.
+func (Event) Type() Type { return TypeEvent }
+
+func (m Event) appendBody(b []byte) []byte {
+	b = append(b, byte(m.Kind))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Arg))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Radios)))
+	for _, r := range m.Radios {
+		b = binary.BigEndian.AppendUint16(b, uint16(r.Channel))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.Range))
+	}
+	return b
+}
+
+func (m *Event) readBody(b []byte) error {
+	if len(b) < 11 {
+		return ErrShortBody
+	}
+	m.Kind = EventKind(b[0])
+	m.Arg = int64(binary.BigEndian.Uint64(b[1:]))
+	n := int(binary.BigEndian.Uint16(b[9:]))
+	if len(b) != 11+n*10 {
+		return ErrShortBody
+	}
+	m.Radios = make([]radio.Radio, n)
+	for i := 0; i < n; i++ {
+		off := 11 + i*10
+		m.Radios[i].Channel = radio.ChannelID(binary.BigEndian.Uint16(b[off:]))
+		m.Radios[i].Range = math.Float64frombits(binary.BigEndian.Uint64(b[off+2:]))
+	}
+	return nil
+}
+
+// Bye announces an orderly shutdown.
+type Bye struct {
+	Reason string
+}
+
+// Type implements Msg.
+func (Bye) Type() Type { return TypeBye }
+
+func (m Bye) appendBody(b []byte) []byte { return append(b, m.Reason...) }
+
+func (m *Bye) readBody(b []byte) error {
+	m.Reason = string(b)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+// WriteMsg frames and writes one message. It is not safe for concurrent
+// writers; callers serialize (the transport layer does).
+func WriteMsg(w io.Writer, m Msg) error {
+	body := m.appendBody(make([]byte, 0, 64))
+	if len(body)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = byte(m.Type())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadMsg reads and decodes one message. io.EOF is returned untouched
+// on a clean end of stream between frames; a stream cut mid-frame
+// yields io.ErrUnexpectedEOF.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrShortBody
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	var (
+		m    Msg
+		perr error
+	)
+	body := buf[1:]
+	switch Type(buf[0]) {
+	case TypeHello:
+		v := &Hello{}
+		perr, m = v.readBody(body), v
+	case TypeHelloAck:
+		v := &HelloAck{}
+		perr, m = v.readBody(body), v
+	case TypeSyncReq:
+		v := &SyncReq{}
+		perr, m = v.readBody(body), v
+	case TypeSyncReply:
+		v := &SyncReply{}
+		perr, m = v.readBody(body), v
+	case TypeData:
+		v := &Data{}
+		perr, m = v.readBody(body), v
+	case TypeEvent:
+		v := &Event{}
+		perr, m = v.readBody(body), v
+	case TypeBye:
+		v := &Bye{}
+		perr, m = v.readBody(body), v
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, buf[0])
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	return m, nil
+}
