@@ -201,6 +201,61 @@ func BenchmarkServerForwardPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionQueueFanout — E8 companion for the per-session
+// delivery pipeline: one broadcast fans out to 8 receiver sessions, so
+// every iteration pushes through 8 outbound writer queues
+// concurrently. The old goroutine-per-packet path paid a goroutine
+// spawn per delivery here; the queue path pays one enqueue.
+func BenchmarkSessionQueueFanout(b *testing.B) {
+	const receivers = 8
+	clk := vclock.NewSystem(1000)
+	sc := scene.New(radio.NewIndexed(250), clk, 1)
+	sc.AddNode(1, geom.V(0, 0), []radio.Radio{{Channel: 1, Range: 500}})
+	for i := 0; i < receivers; i++ {
+		sc.AddNode(radio.NodeID(i+2), geom.V(float64(10*(i+1)), 0),
+			[]radio.Radio{{Channel: 1, Range: 500}})
+	}
+	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis := transport.NewInprocListener()
+	go srv.Serve(lis)
+	defer srv.Close()
+	defer lis.Close()
+	done := make(chan struct{}, 1<<20)
+	for i := 0; i < receivers; i++ {
+		c, err := core.Dial(core.ClientConfig{
+			ID: radio.NodeID(i + 2), Dial: lis.Dialer(), LocalClock: clk,
+			OnPacket: func(wire.Packet) { done <- struct{}{} },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+	}
+	sender, err := core.Dial(core.ClientConfig{ID: 1, Dial: lis.Dialer(), LocalClock: clk})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sender.Close()
+	payload := make([]byte, 256)
+	b.SetBytes(int64(len(payload) * receivers))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sender.Broadcast(1, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < receivers; k++ {
+			<-done
+		}
+	}
+	b.StopTimer()
+	if drops := srv.Stats().QueueDrops; drops != 0 {
+		b.Fatalf("lossless fan-out dropped %d deliveries", drops)
+	}
+}
+
 // BenchmarkScheduleQueue — E8/A1: the default heap under steady load
 // (the per-implementation ablation lives in internal/sched).
 func BenchmarkScheduleQueue(b *testing.B) {

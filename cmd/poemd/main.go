@@ -44,6 +44,10 @@ func main() {
 		tick        = flag.Duration("tick", 100*time.Millisecond, "mobility tick (emulated time)")
 		seed        = flag.Int64("seed", 1, "link-model random seed")
 		autoCreate  = flag.Bool("autocreate", false, "auto-create VMNs for unknown client ids")
+		sendQueue   = flag.Int("sendqueue", core.DefaultSendQueueDepth,
+			"per-client outbound queue depth before drop-oldest engages")
+		maxSkew = flag.Duration("maxskew", core.DefaultMaxStampSkew,
+			"clamp client stamps to now+maxskew (negative to disable)")
 	)
 	flag.Parse()
 
@@ -53,6 +57,7 @@ func main() {
 	srv, err := core.NewServer(core.ServerConfig{
 		Clock: clk, Scene: sc, Store: store,
 		Seed: *seed, TickStep: *tick, AutoCreateNodes: *autoCreate,
+		SendQueueDepth: *sendQueue, MaxStampSkew: *maxSkew,
 	})
 	if err != nil {
 		log.Fatalf("poemd: %v", err)

@@ -28,11 +28,18 @@ import (
 const DefaultIngressDelay = 50 * time.Microsecond
 
 // Configure flips a PoEm ServerConfig into the JEmu-style baseline.
+// The egress side is untouched: the baseline shares PoEm's per-session
+// writer queues (same depth, same drop-oldest policy), so E4 isolates
+// the *stamping* architecture — any QueueDrops difference between the
+// two configurations would be a confound, not a finding.
 func Configure(cfg core.ServerConfig) core.ServerConfig {
 	cfg.StampAtServer = true
 	cfg.SerialIngress = true
 	if cfg.IngressDelay == 0 {
 		cfg.IngressDelay = DefaultIngressDelay
+	}
+	if cfg.SendQueueDepth == 0 {
+		cfg.SendQueueDepth = core.DefaultSendQueueDepth
 	}
 	return cfg
 }

@@ -46,6 +46,14 @@ type Config struct {
 	// DecisionRate is how often each station makes a forwarding
 	// decision (per second), used for the stale-decision metric.
 	DecisionRate float64
+	// QueueBound, when positive, bounds each station's waiting-update
+	// queue with the same drop-oldest policy PoEm's server applies to
+	// its per-session send queues (core.ServerConfig.SendQueueDepth):
+	// an arrival that finds the queue full evicts the oldest waiting
+	// update, which the newer full-scene update supersedes. Zero keeps
+	// the unbounded queue the distributed architecture implies — the
+	// configuration whose backlog growth §2.2 criticizes.
+	QueueBound int
 	// Seed drives update/decision jitter.
 	Seed int64
 }
@@ -83,8 +91,13 @@ type Result struct {
 	// while the deciding station's applied version was behind the
 	// controller's issued version.
 	StaleDecisionFrac float64
-	// Diverged reports that the slowest station's backlog was still
-	// growing at the end of the run (update rate beyond its capacity).
+	// DroppedUpdates counts station×update pairs evicted by the
+	// bounded queue; always zero when Config.QueueBound is zero.
+	DroppedUpdates int
+	// Diverged reports that the run was overdriven: the slowest
+	// station's backlog was still growing at the end (unbounded
+	// queues), or the drop-oldest policy had to discard a significant
+	// fraction of updates (bounded queues).
 	Diverged bool
 }
 
@@ -123,21 +136,55 @@ func Run(cfg Config, updateRate float64, duration time.Duration, seedExtra int64
 		return res
 	}
 
-	// applied[i][u] = when station i finished applying update u.
+	// applied[i][u] = when station i finished applying update u;
+	// dropped[i][u] marks pairs evicted by the bounded queue, whose
+	// applied entry is meaningless. Each station is a single FIFO
+	// server: an update starts at max(free, arrival) and finishes one
+	// apply delay later. With QueueBound > 0 an arrival that finds the
+	// waiting queue full evicts the oldest waiting update first —
+	// in-service updates are past evicting. With QueueBound == 0 the
+	// queue walk reduces to exactly the unbounded recurrence.
 	applied := make([][]time.Duration, n)
+	dropped := make([][]bool, n)
 	maxBacklog := 0
 	for i := 0; i < n; i++ {
 		applied[i] = make([]time.Duration, len(issues))
+		dropped[i] = make([]bool, len(issues))
 		free := time.Duration(0) // when the station's daemon is idle
-		for u, issue := range issues {
-			arrive := issue + cfg.BroadcastDelay
-			start := arrive
+		var waiting []int        // arrived, not yet being applied
+		serve := func(v int) {
+			start := issues[v] + cfg.BroadcastDelay
 			if free > start {
 				start = free
 			}
-			done := start + applyDelay[i]
-			applied[i][u] = done
-			free = done
+			free = start + applyDelay[i]
+			applied[i][v] = free
+		}
+		for u, issue := range issues {
+			arrive := issue + cfg.BroadcastDelay
+			// Apply everything whose turn comes before this arrival.
+			for len(waiting) > 0 {
+				v := waiting[0]
+				start := issues[v] + cfg.BroadcastDelay
+				if free > start {
+					start = free
+				}
+				if start > arrive {
+					break
+				}
+				waiting = waiting[1:]
+				serve(v)
+			}
+			if cfg.QueueBound > 0 && len(waiting) >= cfg.QueueBound {
+				dropped[i][waiting[0]] = true
+				waiting = waiting[1:]
+				res.DroppedUpdates++
+			}
+			waiting = append(waiting, u)
+		}
+		for len(waiting) > 0 {
+			serve(waiting[0])
+			waiting = waiting[1:]
 		}
 		// Backlog over time: count updates arrived but not applied,
 		// sampled at each arrival instant.
@@ -145,7 +192,7 @@ func Run(cfg Config, updateRate float64, duration time.Duration, seedExtra int64
 			arrive := issue + cfg.BroadcastDelay
 			backlog := 0
 			for v := 0; v <= u; v++ {
-				if applied[i][v] > arrive {
+				if !dropped[i][v] && applied[i][v] > arrive {
 					backlog++
 				}
 			}
@@ -156,45 +203,74 @@ func Run(cfg Config, updateRate float64, duration time.Duration, seedExtra int64
 	}
 	res.MaxBacklog = maxBacklog
 
-	// Lag and inconsistency.
+	// Lag and inconsistency, over the pairs that were actually applied.
 	var lagSum, incSum time.Duration
-	lagCount := 0
+	lagCount, incCount := 0, 0
 	for u, issue := range issues {
 		var lo, hi time.Duration
+		appliers := 0
 		for i := 0; i < n; i++ {
+			if dropped[i][u] {
+				continue
+			}
 			lag := applied[i][u] - issue
 			lagSum += lag
 			lagCount++
 			if lag > res.MaxLag {
 				res.MaxLag = lag
 			}
-			if i == 0 || applied[i][u] < lo {
+			if appliers == 0 || applied[i][u] < lo {
 				lo = applied[i][u]
 			}
-			if i == 0 || applied[i][u] > hi {
+			if appliers == 0 || applied[i][u] > hi {
 				hi = applied[i][u]
 			}
+			appliers++
+		}
+		if appliers == 0 {
+			continue
 		}
 		inc := hi - lo
 		incSum += inc
+		incCount++
 		if inc > res.MaxInconsistency {
 			res.MaxInconsistency = inc
 		}
 	}
-	res.MeanLag = lagSum / time.Duration(lagCount)
-	res.MeanInconsistency = incSum / time.Duration(len(issues))
+	if lagCount > 0 {
+		res.MeanLag = lagSum / time.Duration(lagCount)
+	}
+	if incCount > 0 {
+		res.MeanInconsistency = incSum / time.Duration(incCount)
+	}
 
-	// Stale forwarding decisions: sample each station at Poisson times;
-	// a decision is stale when some issued update is not yet applied.
+	// Stale forwarding decisions: sample each station at Poisson times.
+	// A station's scene version at time t is the newest update it has
+	// applied by t (updates are full-scene, so a later one supersedes a
+	// dropped predecessor); the decision is stale when that version is
+	// behind the newest issued one.
 	decisions, stale := 0, 0
 	meanGap := time.Duration(float64(time.Second) / cfg.DecisionRate)
 	for i := 0; i < n; i++ {
+		var doneAt []time.Duration // monotone: FIFO application order
+		var doneVer []int
+		for u := range issues {
+			if dropped[i][u] {
+				continue
+			}
+			doneAt = append(doneAt, applied[i][u])
+			doneVer = append(doneVer, u)
+		}
 		t := time.Duration(rng.ExpFloat64() * float64(meanGap))
 		for t < duration {
 			issued := sort.Search(len(issues), func(k int) bool { return issues[k] > t })
-			appliedCount := sort.Search(len(issues), func(k int) bool { return applied[i][k] > t })
+			k := sort.Search(len(doneAt), func(j int) bool { return doneAt[j] > t })
+			version := 0
+			if k > 0 {
+				version = doneVer[k-1] + 1
+			}
 			decisions++
-			if appliedCount < issued {
+			if version < issued {
 				stale++
 			}
 			t += time.Duration(rng.ExpFloat64() * float64(meanGap))
@@ -205,15 +281,20 @@ func Run(cfg Config, updateRate float64, duration time.Duration, seedExtra int64
 	}
 
 	// Divergence: the slowest station cannot keep up when its service
-	// rate is below the update rate; detect via end-of-run backlog.
+	// rate is below the update rate. Unbounded, that shows as end-of-run
+	// backlog; bounded, the backlog cannot grow and the overload shows
+	// as evicted updates instead.
 	slowest := n - 1
 	endBacklog := 0
 	for u := range issues {
-		if applied[slowest][u] > duration {
+		if !dropped[slowest][u] && applied[slowest][u] > duration {
 			endBacklog++
 		}
 	}
 	res.Diverged = endBacklog > 2 && float64(endBacklog) > 0.05*float64(len(issues))
+	if cfg.QueueBound > 0 && float64(res.DroppedUpdates) > 0.05*float64(n*len(issues)) {
+		res.Diverged = true
+	}
 	return res
 }
 

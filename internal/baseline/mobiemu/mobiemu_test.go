@@ -92,6 +92,34 @@ func TestLagMonotoneInRate(t *testing.T) {
 	}
 }
 
+// Bounding the station queues with the server's drop-oldest policy
+// converts unbounded backlog growth into counted drops: lag stays
+// capped, backlog stays within the bound, and the overload is still
+// reported as divergence.
+func TestQueueBoundCapsBacklogWithDrops(t *testing.T) {
+	cfg := base()
+	unbounded := Run(cfg, 600, 5*time.Second, 0)
+	if unbounded.DroppedUpdates != 0 {
+		t.Fatalf("unbounded run dropped %d updates", unbounded.DroppedUpdates)
+	}
+	cfg.QueueBound = 4
+	bounded := Run(cfg, 600, 5*time.Second, 0)
+	if bounded.DroppedUpdates == 0 {
+		t.Fatal("overdriven bounded run dropped nothing")
+	}
+	// Waiting queue ≤ bound, plus at most one update in service.
+	if bounded.MaxBacklog > cfg.QueueBound+1 {
+		t.Errorf("backlog %d exceeds bound %d", bounded.MaxBacklog, cfg.QueueBound)
+	}
+	if bounded.MaxLag >= unbounded.MaxLag {
+		t.Errorf("bounding did not cap lag: bounded %v, unbounded %v",
+			bounded.MaxLag, unbounded.MaxLag)
+	}
+	if !bounded.Diverged {
+		t.Error("overdriven bounded run not reported as diverged")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	a := Run(base(), 150, 3*time.Second, 7)
 	b := Run(base(), 150, 3*time.Second, 7)

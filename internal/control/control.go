@@ -161,10 +161,12 @@ func (s *Server) execute(line string, w io.Writer) {
 			return
 		}
 		st := s.emu.Stats()
-		fmt.Fprintf(w, "clients=%d received=%d forwarded=%d dropped=%d noroute=%d scheduled=%d\n",
-			st.Clients, st.Received, st.Forwarded, st.Dropped, st.NoRoute, st.Scheduled)
+		fmt.Fprintf(w, "clients=%d received=%d forwarded=%d dropped=%d noroute=%d scheduled=%d queuedrops=%d stampclamped=%d\n",
+			st.Clients, st.Received, st.Forwarded, st.Dropped, st.NoRoute, st.Scheduled,
+			st.QueueDrops, st.StampClamped)
 		for _, ss := range s.emu.SessionStats() {
-			fmt.Fprintf(w, "  %v received=%d forwarded=%d\n", ss.ID, ss.Received, ss.Forwarded)
+			fmt.Fprintf(w, "  %v received=%d forwarded=%d queuedrops=%d queuedepth=%d\n",
+				ss.ID, ss.Received, ss.Forwarded, ss.QueueDrops, ss.QueueDepth)
 		}
 	default:
 		// Everything else is a scene mutation: reuse the script parser

@@ -31,6 +31,10 @@ type ClientConfig struct {
 	LocalClock vclock.Clock
 	// SyncRounds per synchronization; default 4, min-RTT sample wins.
 	SyncRounds int
+	// SyncTimeout bounds one synchronization round trip; default 5s
+	// (wall time). A round that misses the deadline fails the sync; the
+	// next resync retries.
+	SyncTimeout time.Duration
 	// ResyncEvery re-runs synchronization periodically (wall time);
 	// zero syncs only at connect. The paper leaves the frequency to the
 	// user "in consideration of the emulation duration, client
@@ -72,6 +76,12 @@ type Client struct {
 
 	wg         sync.WaitGroup
 	stopResync chan struct{}
+
+	// syncMu serializes sync round trips so the one reusable timeout
+	// timer below is never armed twice (time.After in a loop would leak
+	// a timer per round until it fired on its own).
+	syncMu    sync.Mutex
+	syncTimer *time.Timer
 }
 
 // ErrClientClosed is returned by Send after Close.
@@ -92,6 +102,9 @@ func Dial(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.SyncRounds <= 0 {
 		cfg.SyncRounds = 4
+	}
+	if cfg.SyncTimeout <= 0 {
+		cfg.SyncTimeout = 5 * time.Second
 	}
 	conn, err := cfg.Dial()
 	if err != nil {
@@ -209,8 +222,13 @@ func (c *Client) Resync() (vclock.Sample, error) {
 }
 
 // exchange is one sync round trip over the live connection. Replies are
-// routed back by TC1 through the receive loop.
+// routed back by TC1 through the receive loop. Rounds are serialized by
+// syncMu; the timeout timer is reused across rounds and stopped on
+// every exit path, and a connection closing mid-exchange aborts the
+// wait promptly via stopResync.
 func (c *Client) exchange(tc1 vclock.Time) (vclock.Time, vclock.Time, error) {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
 	ch := make(chan *wire.SyncReply, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -227,10 +245,23 @@ func (c *Client) exchange(tc1 vclock.Time) (vclock.Time, vclock.Time, error) {
 	if err := c.conn.Send(&wire.SyncReq{TC1: tc1}); err != nil {
 		return 0, 0, err
 	}
+	if c.syncTimer == nil {
+		c.syncTimer = time.NewTimer(c.cfg.SyncTimeout)
+	} else {
+		c.syncTimer.Reset(c.cfg.SyncTimeout)
+	}
+	defer func() {
+		if !c.syncTimer.Stop() {
+			select { // drain a concurrent fire so Reset starts clean
+			case <-c.syncTimer.C:
+			default:
+			}
+		}
+	}()
 	select {
 	case rep := <-ch:
 		return rep.TS2, rep.TS3, nil
-	case <-time.After(5 * time.Second):
+	case <-c.syncTimer.C:
 		return 0, 0, errors.New("core: sync reply timeout")
 	case <-c.stopResync:
 		return 0, 0, ErrClientClosed

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/radio"
+	"repro/internal/wire"
+)
+
+// DefaultSendQueueDepth bounds each session's outbound delivery queue
+// when ServerConfig.SendQueueDepth is zero. The depth trades memory per
+// client against how deep a burst a slow reader can absorb before the
+// drop-oldest policy engages.
+const DefaultSendQueueDepth = 256
+
+// outKind discriminates the two message classes a session writer ships.
+type outKind uint8
+
+const (
+	outData   outKind = iota // a forwarded packet (wire.Data)
+	outRadios                // a scene notification (wire.Event)
+)
+
+// outMsg is one entry in a session's outbound queue.
+type outMsg struct {
+	kind   outKind
+	pkt    wire.Packet   // outData: the packet due now
+	radios []radio.Radio // outRadios: the VMN's new radio set
+}
+
+// sendQueue is the bounded per-session outbound queue of the §3.2
+// sending stage. Producers (the scanner's dispatch and the scene event
+// subscription) never block: when the queue is full the oldest *data*
+// entry is discarded — late packets are the least valuable, while radio
+// notifications must survive so the client's channel view stays
+// current. One writer goroutine drains the queue in FIFO order, which
+// is what guarantees per-client deliveries leave in schedule order.
+type sendQueue struct {
+	mu     sync.Mutex
+	buf    []outMsg // ring storage, grown on demand up to cap
+	head   int      // index of the oldest entry
+	n      int      // live entries
+	limit  int      // hard bound on n
+	closed bool
+	wake   chan struct{} // 1-buffered writer wakeup
+
+	drops      atomic.Uint64  // entries discarded by the slow-client policy
+	totalDrops *atomic.Uint64 // server-wide aggregate, shared by all sessions
+}
+
+func newSendQueue(limit int, totalDrops *atomic.Uint64) *sendQueue {
+	if limit <= 0 {
+		limit = DefaultSendQueueDepth
+	}
+	return &sendQueue{limit: limit, wake: make(chan struct{}, 1), totalDrops: totalDrops}
+}
+
+// countDrop charges one policy discard to the session and the server.
+func (q *sendQueue) countDrop() {
+	q.drops.Add(1)
+	if q.totalDrops != nil {
+		q.totalDrops.Add(1)
+	}
+}
+
+// push enqueues m, evicting the oldest data entry when full. It never
+// blocks; the return value reports whether m itself was accepted (false
+// only when the queue is closed or m is data and the queue holds
+// nothing but radio notifications).
+func (q *sendQueue) push(m outMsg) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.n == q.limit {
+		if !q.dropOldestDataLocked() {
+			// Full of radio notifications (pathological: limit sessions
+			// would need limit scene changes queued). Data yields to
+			// them; a notification displaces the oldest one.
+			if m.kind == outData {
+				q.countDrop()
+				q.mu.Unlock()
+				return false
+			}
+			q.dropHeadLocked()
+		}
+	}
+	q.appendLocked(m)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// appendLocked stores m at the tail, growing the ring toward limit.
+func (q *sendQueue) appendLocked(m outMsg) {
+	if q.n == len(q.buf) {
+		grow := len(q.buf) * 2
+		if grow == 0 {
+			grow = 16
+		}
+		if grow > q.limit {
+			grow = q.limit
+		}
+		nb := make([]outMsg, grow)
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = nb, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.n++
+}
+
+// dropOldestDataLocked discards the oldest data entry, reporting false
+// when the queue holds none.
+func (q *sendQueue) dropOldestDataLocked() bool {
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if q.buf[idx].kind != outData {
+			continue
+		}
+		// Shift the entries before i up by one slot, then advance head:
+		// O(depth) but only on the overflow path.
+		for j := i; j > 0; j-- {
+			cur := (q.head + j) % len(q.buf)
+			prev := (q.head + j - 1) % len(q.buf)
+			q.buf[cur] = q.buf[prev]
+		}
+		q.dropHeadLocked()
+		return true
+	}
+	return false
+}
+
+func (q *sendQueue) dropHeadLocked() {
+	q.buf[q.head] = outMsg{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.countDrop()
+}
+
+// pop blocks for the next entry. ok is false once the queue is closed
+// (remaining entries are abandoned — the session is over) or stop
+// closes.
+func (q *sendQueue) pop(stop <-chan struct{}) (m outMsg, ok bool) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return outMsg{}, false
+		}
+		if q.n > 0 {
+			m = q.buf[q.head]
+			q.buf[q.head] = outMsg{}
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
+			q.mu.Unlock()
+			return m, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.wake:
+		case <-stop:
+			return outMsg{}, false
+		}
+	}
+}
+
+// close marks the queue dead and wakes the writer so it exits.
+func (q *sendQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// depth is the current number of queued entries.
+func (q *sendQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// full reports whether the next push would evict.
+func (q *sendQueue) full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n == q.limit
+}

@@ -17,7 +17,10 @@
 //     t_receipt is the *client's* parallel timestamp
 //  4. list the packet into the schedule
 //  5. a scanning goroutine watches the schedule
-//  6. a sending goroutine ships the packet at t_forward
+//  6. a sending goroutine ships the packet at t_forward — here one
+//     dedicated writer per session draining a bounded FIFO queue, so
+//     deliveries to a client leave in schedule order and a slow client
+//     backpressures only itself (see sessionWriter / sendQueue)
 //  7. recording goroutines log every packet and scene change
 package core
 
@@ -25,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +68,20 @@ type ServerConfig struct {
 	// paper's base model schedules each packet independently (MAC
 	// behaviour is §7 future work); this switch is that extension.
 	SerializeChannels bool
+	// SendQueueDepth bounds each session's outbound delivery queue.
+	// Deliveries to a client leave through one writer goroutine in
+	// schedule order; when a slow client lets its queue fill, the
+	// oldest queued packet is discarded (counted in QueueDrops) so the
+	// backpressure never reaches other sessions or the scanner. Zero
+	// means DefaultSendQueueDepth.
+	SendQueueDepth int
+	// MaxStampSkew caps how far into the future a client's parallel
+	// timestamp may run ahead of the server clock. A client with a
+	// badly synced clock would otherwise plant packets arbitrarily far
+	// ahead in the schedule; stamps beyond now+MaxStampSkew are clamped
+	// (counted in StampClamped). Zero means DefaultMaxStampSkew;
+	// negative disables the clamp.
+	MaxStampSkew time.Duration
 
 	// --- JEmu-style baseline knobs (internal/baseline/jemu presets) ---
 
@@ -81,6 +99,13 @@ type ServerConfig struct {
 	IngressDelay time.Duration
 }
 
+// DefaultMaxStampSkew is the future-stamp clamp applied when
+// ServerConfig.MaxStampSkew is zero. One second comfortably exceeds any
+// honest sync error (§4.1 bounds it by the transport's asymmetric
+// delay) while keeping a hostile or broken clock from polluting the
+// schedule.
+const DefaultMaxStampSkew = time.Second
+
 // Server is the PoEm emulation server.
 type Server struct {
 	cfg     ServerConfig
@@ -97,14 +122,13 @@ type Server struct {
 	chanMu   sync.Mutex // guards chanFree (SerializeChannels extension)
 	chanFree map[radio.ChannelID]vclock.Time
 
-	events     chan sessionEvent // ordered per-client scene notifications
-	eventsStop chan struct{}
-
 	// Counters (atomic; exported through Stats).
-	nReceived  atomic.Uint64
-	nForwarded atomic.Uint64
-	nDropped   atomic.Uint64
-	nNoRoute   atomic.Uint64
+	nReceived     atomic.Uint64
+	nForwarded    atomic.Uint64
+	nDropped      atomic.Uint64
+	nNoRoute      atomic.Uint64
+	nQueueDrops   atomic.Uint64 // includes drops from departed sessions
+	nStampClamped atomic.Uint64
 }
 
 // ServerStats is a snapshot of server counters.
@@ -113,18 +137,38 @@ type ServerStats struct {
 	Forwarded uint64 // packet deliveries sent to clients
 	Dropped   uint64 // deliveries killed by the link model
 	NoRoute   uint64 // packets with no reachable destination
-	Clients   int    // connected sessions
-	Scheduled int    // schedule depth right now
+	// QueueDrops counts deliveries discarded by the slow-client policy:
+	// the addressee's bounded send queue was full, so the oldest queued
+	// packet was dropped to make room (drop-oldest).
+	QueueDrops uint64
+	// StampClamped counts packets whose client timestamp ran further
+	// than MaxStampSkew ahead of the server clock and was clamped.
+	StampClamped uint64
+	Clients      int // connected sessions
+	Scheduled    int // schedule depth right now
 }
 
-// session is one connected emulation client.
+// session is one connected emulation client. All traffic toward the
+// client funnels through q, drained by a single writer goroutine
+// (sessionWriter), so deliveries and scene notifications leave in
+// order and a stalled client blocks only its own writer.
 type session struct {
 	id   radio.NodeID
 	conn transport.Conn
 	rng  *rand.Rand // scheduling-thread die, per session
 
+	q        *sendQueue    // bounded outbound queue, FIFO
+	stop     chan struct{} // closed when the session ends
+	stopOnce sync.Once
+
 	received  atomic.Uint64 // packets this client sent us
 	forwarded atomic.Uint64 // packets we delivered to this client
+}
+
+// shutdown ends the session's writer. Safe to call more than once.
+func (sess *session) shutdown() {
+	sess.stopOnce.Do(func() { close(sess.stop) })
+	sess.q.close()
 }
 
 // NewServer validates the configuration and assembles a server.
@@ -142,11 +186,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.TickStep = 100 * time.Millisecond
 	}
 	s := &Server{
-		cfg:        cfg,
-		sessions:   make(map[radio.NodeID]*session),
-		chanFree:   make(map[radio.ChannelID]vclock.Time),
-		events:     make(chan sessionEvent, 4096),
-		eventsStop: make(chan struct{}),
+		cfg:      cfg,
+		sessions: make(map[radio.NodeID]*session),
+		chanFree: make(map[radio.ChannelID]vclock.Time),
 	}
 	s.scanner = sched.NewScanner(cfg.Queue, cfg.Clock, s.deliver)
 	if cfg.Store != nil {
@@ -158,9 +200,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		})
 	}
 	// Push radio changes to the affected client so its protocol learns
-	// about channel switches made on the server GUI. Events flow
-	// through one dispatch goroutine so a client observes its scene
-	// changes in the order they happened.
+	// about channel switches made on the server GUI. The notification
+	// rides the session's own outbound queue: the scene emits events in
+	// order and the per-session writer drains FIFO, so a client
+	// observes its scene changes in the order they happened — and a
+	// wedged client delays only its own notifications, never another
+	// session's (the old shared dispatch goroutine stalled everyone).
 	cfg.Scene.Subscribe(func(e scene.Event) {
 		if e.Kind != scene.RadiosChanged {
 			return
@@ -171,37 +216,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		if sess == nil {
 			return
 		}
-		ev := sessionEvent{
-			sess:   sess,
+		sess.q.push(outMsg{
+			kind:   outRadios,
 			radios: append([]radio.Radio(nil), e.Radios...),
-		}
-		select {
-		case s.events <- ev:
-		default:
-			// A wedged client must not stall the scene; it will learn
-			// its radios at the next successful notification.
-		}
+		})
 	})
-	go s.eventLoop()
 	return s, nil
-}
-
-// sessionEvent is one ordered scene notification for a client.
-type sessionEvent struct {
-	sess   *session
-	radios []radio.Radio
-}
-
-// eventLoop delivers session events in order until Close.
-func (s *Server) eventLoop() {
-	for {
-		select {
-		case ev := <-s.events:
-			ev.sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: ev.radios})
-		case <-s.eventsStop:
-			return
-		}
-	}
 }
 
 // Start launches the scanner and mobility ticker. Serve calls it
@@ -254,8 +274,14 @@ func (s *Server) Close() {
 	}
 	ticker := s.ticker
 	s.mu.Unlock()
-	close(s.eventsStop)
+	// Ordering: cut the connections first (unblocks session readers and
+	// any writer mid-Send), let every handler and writer goroutine
+	// drain, and only then stop the scanner and ticker — a scanner
+	// dispatch into a closing session is harmless (its queue rejects
+	// pushes once closed), but stopping the scanner before the writers
+	// exit would abandon in-flight sends.
 	for _, sess := range sessions {
+		sess.shutdown()
 		sess.conn.Close()
 	}
 	s.wg.Wait()
@@ -271,12 +297,14 @@ func (s *Server) Stats() ServerStats {
 	clients := len(s.sessions)
 	s.mu.Unlock()
 	return ServerStats{
-		Received:  s.nReceived.Load(),
-		Forwarded: s.nForwarded.Load(),
-		Dropped:   s.nDropped.Load(),
-		NoRoute:   s.nNoRoute.Load(),
-		Clients:   clients,
-		Scheduled: s.scanner.Pending(),
+		Received:     s.nReceived.Load(),
+		Forwarded:    s.nForwarded.Load(),
+		Dropped:      s.nDropped.Load(),
+		NoRoute:      s.nNoRoute.Load(),
+		QueueDrops:   s.nQueueDrops.Load(),
+		StampClamped: s.nStampClamped.Load(),
+		Clients:      clients,
+		Scheduled:    s.scanner.Pending(),
 	}
 }
 
@@ -288,6 +316,12 @@ type SessionStat struct {
 	ID        radio.NodeID
 	Received  uint64 // packets the client sent to the server
 	Forwarded uint64 // packets the server delivered to the client
+	// QueueDrops counts deliveries to this client discarded by the
+	// slow-client policy; QueueDepth is its send queue's depth right
+	// now. A persistently deep queue marks a client that cannot keep up
+	// with its offered load.
+	QueueDrops uint64
+	QueueDepth int
 }
 
 // SessionStats snapshots per-client counters, sorted by VMN id.
@@ -296,9 +330,11 @@ func (s *Server) SessionStats() []SessionStat {
 	out := make([]SessionStat, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		out = append(out, SessionStat{
-			ID:        sess.id,
-			Received:  sess.received.Load(),
-			Forwarded: sess.forwarded.Load(),
+			ID:         sess.id,
+			Received:   sess.received.Load(),
+			Forwarded:  sess.forwarded.Load(),
+			QueueDrops: sess.q.drops.Load(),
+			QueueDepth: sess.q.depth(),
 		})
 	}
 	s.mu.Unlock()
@@ -315,6 +351,7 @@ func (s *Server) handle(conn transport.Conn) {
 		return
 	}
 	defer func() {
+		sess.shutdown()
 		s.mu.Lock()
 		if s.sessions[sess.id] == sess {
 			delete(s.sessions, sess.id)
@@ -372,6 +409,8 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 		id:   id,
 		conn: conn,
 		rng:  rand.New(rand.NewSource(s.cfg.Seed ^ int64(id)<<17 ^ 0x9e3779b9)),
+		q:    newSendQueue(s.cfg.SendQueueDepth, &s.nQueueDrops),
+		stop: make(chan struct{}),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -385,14 +424,37 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	if err := conn.Send(&wire.HelloAck{Assigned: id, ServerNow: s.cfg.Clock.Now()}); err != nil {
+		// The slot is released only if it is still ours: the client may
+		// already have given up and reconnected, and that fresh session
+		// must not be evicted by our stale cleanup.
 		s.mu.Lock()
-		delete(s.sessions, id)
+		if s.sessions[id] == sess {
+			delete(s.sessions, id)
+		}
 		s.mu.Unlock()
 		return nil, err
 	}
-	// Tell the client its current radio set.
+	// The writer starts only after the HelloAck is on the wire — the
+	// client's Dial expects it as the first reply, before any queued
+	// event. wg.Add must not race Close's wg.Wait; both are ordered by
+	// s.mu and the closed flag (Close, once it holds the lock with
+	// closed set, has already collected this session for conn.Close).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.shutdown()
+		return nil, errors.New("core: server closed")
+	}
+	s.wg.Add(1)
+	go s.sessionWriter(sess)
+	s.mu.Unlock()
+	// Tell the client its current radio set, through the queue so a
+	// concurrent live change cannot overtake it. The scene is read
+	// *after* the session is visible to the event subscription: any
+	// change this read misses is already queued behind, or emitted
+	// after, what we enqueue here, so the client always ends current.
 	if n, ok := s.cfg.Scene.Node(id); ok && len(n.Radios) > 0 {
-		conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: n.Radios})
+		sess.q.push(outMsg{kind: outRadios, radios: append([]radio.Radio(nil), n.Radios...)})
 	}
 	return sess, nil
 }
@@ -416,6 +478,20 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 	now := s.cfg.Clock.Now()
 	if pkt.Src != sess.id {
 		pkt.Src = sess.id // a VMN cannot spoof another's traffic
+	}
+	// Parallel stamps are trusted for accuracy (§4.1), not unboundedly:
+	// a client clock running ahead of every honest sync error would
+	// otherwise list its packets arbitrarily deep into the schedule's
+	// future. Late stamps need no clamp — the `due < now` floor below
+	// already keeps them from shipping into the past.
+	if maxSkew := s.cfg.MaxStampSkew; maxSkew >= 0 {
+		if maxSkew == 0 {
+			maxSkew = DefaultMaxStampSkew
+		}
+		if horizon := now.Add(maxSkew); pkt.Stamp > horizon {
+			pkt.Stamp = horizon
+			s.nStampClamped.Add(1)
+		}
 	}
 	s.nReceived.Add(1)
 	sess.received.Add(1)
@@ -511,9 +587,15 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 	}
 }
 
-// deliver is §3.2 step 6: a sending goroutine ships the packet to its
-// client at the scheduled time. It runs on the scanner goroutine, so
-// the actual socket write is handed off.
+// deliver is §3.2 step 6: at the scheduled time the packet is handed
+// to the addressee's outbound queue. It runs on the scanner goroutine
+// and never blocks — the session's dedicated writer performs the
+// socket write, so the scanner cannot be stalled by a slow client and
+// the goroutine count stays O(connected clients) rather than
+// O(in-flight packets). Because the scanner fires items in due order
+// and the queue is FIFO, deliveries to a client leave in schedule
+// order (the old goroutine-per-packet send raced on the connection
+// lock and could reorder them).
 func (s *Server) deliver(it sched.Item) {
 	s.mu.Lock()
 	if s.closed {
@@ -521,27 +603,51 @@ func (s *Server) deliver(it sched.Item) {
 		return
 	}
 	sess := s.sessions[it.To]
+	s.mu.Unlock()
 	if sess == nil {
-		s.mu.Unlock()
 		return // the client left between scheduling and departure
 	}
-	// wg.Add must not race Close's wg.Wait; both are ordered by s.mu
-	// and the closed flag.
-	s.wg.Add(1)
-	s.mu.Unlock()
-	go func() {
-		defer s.wg.Done()
-		if err := sess.conn.Send(&wire.Data{Pkt: it.Pkt}); err != nil {
-			return
+	if sess.q.full() {
+		// Distinguish "the writer has not been scheduled yet" (a burst
+		// outran it — common on few cores) from "the client is wedged"
+		// (its writer is parked in conn.Send and not runnable). Yielding
+		// lets a healthy writer drain before we resort to dropping;
+		// against a wedged one the queue is still full afterwards and
+		// drop-oldest engages as intended.
+		runtime.Gosched()
+	}
+	sess.q.push(outMsg{kind: outData, pkt: it.Pkt})
+}
+
+// sessionWriter is the per-session sending goroutine: it drains the
+// session's queue in FIFO order and performs the actual writes. One
+// writer per session means a wedged client backpressures only itself;
+// everyone else's writers keep draining.
+func (s *Server) sessionWriter(sess *session) {
+	defer s.wg.Done()
+	for {
+		m, ok := sess.q.pop(sess.stop)
+		if !ok {
+			return // session over; anything still queued is abandoned
 		}
-		s.nForwarded.Add(1)
-		sess.forwarded.Add(1)
-		if s.cfg.Store != nil {
-			s.cfg.Store.AddPacket(record.Packet{
-				Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: it.Pkt.Stamp,
-				Src: it.Pkt.Src, Dst: it.Pkt.Dst, Relay: it.To, Channel: it.Pkt.Channel,
-				Flow: it.Pkt.Flow, Seq: it.Pkt.Seq, Size: uint32(it.Pkt.Size()),
-			})
+		switch m.kind {
+		case outRadios:
+			if err := sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: m.radios}); err != nil {
+				return
+			}
+		case outData:
+			if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
+				return
+			}
+			s.nForwarded.Add(1)
+			sess.forwarded.Add(1)
+			if s.cfg.Store != nil {
+				s.cfg.Store.AddPacket(record.Packet{
+					Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: m.pkt.Stamp,
+					Src: m.pkt.Src, Dst: m.pkt.Dst, Relay: sess.id, Channel: m.pkt.Channel,
+					Flow: m.pkt.Flow, Seq: m.pkt.Seq, Size: uint32(m.pkt.Size()),
+				})
+			}
 		}
-	}()
+	}
 }

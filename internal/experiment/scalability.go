@@ -39,12 +39,13 @@ func (c ScalabilityConfig) withDefaults() ScalabilityConfig {
 
 // ScalabilityPoint is one sweep point.
 type ScalabilityPoint struct {
-	Clients   int
-	Packets   int
-	Elapsed   time.Duration // wall time for the whole exchange
-	PerPacket time.Duration // wall time per delivered packet
-	MeanDelay time.Duration // emulation-clock delivery latency (p50 path)
-	P99Delay  time.Duration
+	Clients    int
+	Packets    int
+	Elapsed    time.Duration // wall time for the whole exchange
+	PerPacket  time.Duration // wall time per delivered packet
+	MeanDelay  time.Duration // emulation-clock delivery latency (p50 path)
+	P99Delay   time.Duration
+	QueueDrops uint64 // deliveries evicted by the slow-client policy
 }
 
 // ScalabilityResult is the sweep.
@@ -68,13 +69,14 @@ func Scalability(w io.Writer, cfg ScalabilityConfig) (ScalabilityResult, error) 
 	if w != nil {
 		fmt.Fprintf(w, "Scalability: ring traffic, %d packets per client, %dB payloads\n",
 			cfg.PerClient, cfg.PayloadSize)
-		fmt.Fprintf(w, "%8s %9s %12s %12s %12s %12s\n",
-			"clients", "packets", "wall", "per packet", "mean delay", "p99 delay")
+		fmt.Fprintf(w, "%8s %9s %12s %12s %12s %12s %8s\n",
+			"clients", "packets", "wall", "per packet", "mean delay", "p99 delay", "qdrops")
 		for _, p := range res.Points {
-			fmt.Fprintf(w, "%8d %9d %12v %12v %12v %12v\n",
+			fmt.Fprintf(w, "%8d %9d %12v %12v %12v %12v %8d\n",
 				p.Clients, p.Packets, p.Elapsed.Round(time.Millisecond),
 				p.PerPacket.Round(time.Microsecond),
-				p.MeanDelay.Round(time.Microsecond), p.P99Delay.Round(time.Microsecond))
+				p.MeanDelay.Round(time.Microsecond), p.P99Delay.Round(time.Microsecond),
+				p.QueueDrops)
 		}
 	}
 	return res, nil
@@ -154,11 +156,12 @@ func scalabilityOnce(n int, cfg ScalabilityConfig) (ScalabilityPoint, error) {
 	}
 	elapsed := time.Since(start)
 	return ScalabilityPoint{
-		Clients:   n,
-		Packets:   want,
-		Elapsed:   elapsed,
-		PerPacket: elapsed / time.Duration(want),
-		MeanDelay: dist.Mean(),
-		P99Delay:  dist.Quantile(0.99),
+		Clients:    n,
+		Packets:    want,
+		Elapsed:    elapsed,
+		PerPacket:  elapsed / time.Duration(want),
+		MeanDelay:  dist.Mean(),
+		P99Delay:   dist.Quantile(0.99),
+		QueueDrops: srv.Stats().QueueDrops,
 	}, nil
 }
