@@ -145,6 +145,9 @@ func main() {
 	<-serveDone
 
 	if wal != nil {
+		if err := store.Sync(); err != nil {
+			log.Printf("poemd: wal sync: %v", err)
+		}
 		if err := wal.Close(); err != nil {
 			log.Printf("poemd: wal close: %v", err)
 		}

@@ -1,0 +1,148 @@
+package core
+
+// BenchmarkDispatchParallel measures the §3.2 scheduling hot path —
+// ingest: neighbor+model resolution, link-model evaluation, and the
+// schedule push — with many sessions sending concurrently, comparing
+// the locked read path (scene mutex taken twice per packet, fresh
+// neighbor slice each time) against the lock-free epoch-snapshot path
+// (one atomic load, zero copies). The schedule is a discard queue so
+// the benchmark isolates the dispatch stage from scanner/writer
+// throughput. Reported metrics: pkt/s and allocs/op (the snapshot path
+// must show 0 on the steady state).
+//
+// Baseline numbers live in BENCH_dispatch.json at the repo root;
+// refresh with:
+//
+//	go test ./internal/core -run='^$' -bench=DispatchParallel -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// discardQueue sinks schedule pushes; the dispatch benches use it so
+// heap maintenance isn't what gets measured.
+type discardQueue struct{}
+
+func (discardQueue) Push(sched.Item)                       {}
+func (discardQueue) PopDue(vclock.Time) (sched.Item, bool) { return sched.Item{}, false }
+func (discardQueue) NextDue() (vclock.Time, bool)          { return 0, false }
+func (discardQueue) Len() int                              { return 0 }
+
+// newDispatchBench builds a server over a populated scene: `nodes` VMNs
+// in a row on channel 1, spaced so each hears a handful of neighbors.
+func newDispatchBench(tb testing.TB, locked bool, nodes int) *Server {
+	tb.Helper()
+	clk := vclock.NewManual(vclock.FromSeconds(100))
+	sc := scene.New(radio.NewIndexed(120), clk, 1)
+	for id := 0; id < nodes; id++ {
+		err := sc.AddNode(radio.NodeID(id), geom.V(float64(id)*40, 0),
+			[]radio.Radio{{Channel: 1, Range: 120}})
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	srv, err := NewServer(ServerConfig{
+		Clock: clk, Scene: sc, Queue: discardQueue{},
+		Seed: 1, LockedDispatch: locked,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return srv
+}
+
+func benchSession(id radio.NodeID, srv *Server) *session {
+	return &session{
+		id:   id,
+		rng:  rand.New(rand.NewSource(int64(id) + 1)),
+		q:    newSendQueue(0, &srv.nQueueDrops),
+		stop: make(chan struct{}),
+	}
+}
+
+func BenchmarkDispatchParallel(b *testing.B) {
+	const nodes = 32
+	for _, mode := range []struct {
+		name   string
+		locked bool
+	}{{"locked", true}, {"snapshot", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			srv := newDispatchBench(b, mode.locked, nodes)
+			var next int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// One session per benchmark goroutine, like one per client.
+				id := radio.NodeID(int(next) % nodes)
+				next++
+				sess := benchSession(id, srv)
+				pkt := wire.Packet{
+					Src: id, Dst: radio.Broadcast, Channel: 1,
+					Stamp: vclock.FromSeconds(100), Payload: make([]byte, 64),
+				}
+				for pb.Next() {
+					pkt.Seq++
+					srv.ingest(sess, pkt)
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkt/s")
+		})
+	}
+}
+
+// TestIngestSteadyStateAllocFree pins the acceptance criterion: on the
+// steady-state forwarding path (recording off, schedule warm) ingest
+// performs zero heap allocations for the neighbor/model lookup and
+// target selection.
+func TestIngestSteadyStateAllocFree(t *testing.T) {
+	srv := newDispatchBench(t, false, 16)
+	sess := benchSession(3, srv)
+	pkt := wire.Packet{
+		Src: 3, Dst: radio.Broadcast, Channel: 1,
+		Stamp: vclock.FromSeconds(100), Payload: make([]byte, 64),
+	}
+	srv.ingest(sess, pkt) // warm the scratch buffer
+	allocs := testing.AllocsPerRun(500, func() {
+		srv.ingest(sess, pkt)
+	})
+	if allocs != 0 {
+		t.Errorf("ingest allocates %v per packet on the steady state, want 0", allocs)
+	}
+	if srv.Stats().Received == 0 {
+		t.Fatal("ingest did not run")
+	}
+}
+
+// TestLockedAndSnapshotDispatchAgree drives the same traffic through
+// both read paths and checks the forwarding decisions match: identical
+// target sets and identical schedule outcomes for a loss-free model.
+func TestLockedAndSnapshotDispatchAgree(t *testing.T) {
+	for _, nodes := range []int{2, 8, 32} {
+		stats := make([]ServerStats, 0, 2)
+		for _, locked := range []bool{true, false} {
+			srv := newDispatchBench(t, locked, nodes)
+			sess := benchSession(0, srv)
+			pkt := wire.Packet{Src: 0, Dst: radio.Broadcast, Channel: 1,
+				Stamp: vclock.FromSeconds(100)}
+			for i := 0; i < 50; i++ {
+				pkt.Seq = uint32(i)
+				srv.ingest(sess, pkt)
+			}
+			stats = append(stats, srv.Stats())
+		}
+		if stats[0].Received != stats[1].Received ||
+			stats[0].Dropped != stats[1].Dropped ||
+			stats[0].NoRoute != stats[1].NoRoute {
+			t.Errorf("nodes=%d: locked %+v vs snapshot %+v", nodes, stats[0], stats[1])
+		}
+	}
+}

@@ -10,8 +10,10 @@
 // The server's forwarding pipeline follows §3.2 step by step:
 //
 //  1. receive a packet from an emulation client
-//  2. a scheduling goroutine searches the channel-ID-indexed neighbor
-//     table for the destinations
+//  2. a scheduling goroutine resolves the destinations and the link
+//     model from the scene's channel-indexed dispatch view — a
+//     lock-free epoch snapshot (scene.Dispatch), so concurrent
+//     sessions never convoy on the scene mutex
 //  3. roll the link model's drop die; for kept packets compute
 //     t_forward = t_receipt + delay + packet_size/bandwidth, where
 //     t_receipt is the *client's* parallel timestamp
@@ -34,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/linkmodel"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
@@ -97,6 +100,11 @@ type ServerConfig struct {
 	// IngressDelay is per-packet processing time spent while holding
 	// the serial ingress lock (models NIC/CPU cost; wall-clock time).
 	IngressDelay time.Duration
+	// LockedDispatch resolves neighbors and link models through the
+	// scene mutex (the pre-snapshot read path) instead of the lock-free
+	// epoch views. Kept as an ablation knob for BenchmarkDispatchParallel
+	// so the locked/snapshot comparison measures the same pipeline.
+	LockedDispatch bool
 }
 
 // DefaultMaxStampSkew is the future-stamp clamp applied when
@@ -161,8 +169,22 @@ type session struct {
 	stop     chan struct{} // closed when the session ends
 	stopOnce sync.Once
 
+	// kept is ingest's scratch buffer for the surviving targets of one
+	// packet, reused across packets so the steady-state forwarding path
+	// performs no per-packet allocation. Only the session's own reader
+	// goroutine touches it.
+	kept []keptTarget
+
 	received  atomic.Uint64 // packets this client sent us
 	forwarded atomic.Uint64 // packets we delivered to this client
+}
+
+// keptTarget is one link-model survivor of a dispatch: the receiver and
+// its latency components (§3.2 step 3).
+type keptTarget struct {
+	to    radio.NodeID
+	delay time.Duration
+	tx    time.Duration
 }
 
 // shutdown ends the session's writer. Safe to call more than once.
@@ -502,38 +524,31 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 			Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
 		})
 	}
-	// Step 2: the channel-ID-indexed neighbor table gives the
-	// destinations.
-	nbrs := s.cfg.Scene.Neighbors(pkt.Src, pkt.Channel)
-	targets := nbrs[:0:0]
-	for _, nb := range nbrs {
-		if pkt.Dst == radio.Broadcast || pkt.Dst == nb.ID {
-			targets = append(targets, nb)
-		}
+	// Step 2: resolve NT(src, ch) and the channel's link model in one
+	// epoch-snapshot read — a single atomic load, no locks, no copies
+	// (scene.Dispatch). The row is shared with the snapshot and strictly
+	// read-only here. LockedDispatch is the ablation that answers the
+	// same questions through the scene mutex, twice.
+	var rows []radio.Neighbor
+	var model linkmodel.Model
+	if s.cfg.LockedDispatch {
+		rows = s.cfg.Scene.Neighbors(pkt.Src, pkt.Channel)
+		model = s.cfg.Scene.ModelFor(pkt.Channel)
+	} else {
+		rows, model = s.cfg.Scene.Dispatch(pkt.Src, pkt.Channel)
 	}
-	if len(targets) == 0 {
-		s.nNoRoute.Add(1)
-		if s.cfg.Store != nil {
-			s.cfg.Store.AddPacket(record.Packet{
-				Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
-				Src: pkt.Src, Dst: pkt.Dst, Relay: pkt.Dst, Channel: pkt.Channel,
-				Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
-			})
-		}
-		return
-	}
-	model := s.cfg.Scene.ModelFor(pkt.Channel)
-	// Step 3: drop decisions and forward-time computation. t_receipt is
-	// the client's parallel stamp (real-time recording), unless the
-	// baseline overrode it above.
-	type keptTarget struct {
-		to    radio.NodeID
-		delay time.Duration
-		tx    time.Duration
-	}
-	kept := make([]keptTarget, 0, len(targets))
+	// Steps 2–3 fused: filter targets and roll the link-model die in one
+	// pass over the row. t_receipt is the client's parallel stamp
+	// (real-time recording), unless the baseline overrode it above. The
+	// survivors land in the session's reusable scratch buffer.
+	kept := sess.kept[:0]
+	matched := 0
 	var maxTx time.Duration
-	for _, nb := range targets {
+	for _, nb := range rows {
+		if pkt.Dst != radio.Broadcast && pkt.Dst != nb.ID {
+			continue
+		}
+		matched++
 		dec := model.Evaluate(nb.Dist, pkt.Size(), sess.rng)
 		if dec.Drop {
 			s.nDropped.Add(1)
@@ -550,6 +565,18 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		if dec.TxTime > maxTx {
 			maxTx = dec.TxTime
 		}
+	}
+	sess.kept = kept
+	if matched == 0 {
+		s.nNoRoute.Add(1)
+		if s.cfg.Store != nil {
+			s.cfg.Store.AddPacket(record.Packet{
+				Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
+				Src: pkt.Src, Dst: pkt.Dst, Relay: pkt.Dst, Channel: pkt.Channel,
+				Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+			})
+		}
+		return
 	}
 	if len(kept) == 0 {
 		return

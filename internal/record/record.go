@@ -77,25 +77,117 @@ type Scene struct {
 // Store is the append-only recording database. All methods are safe for
 // concurrent use; the server's recording goroutines append while
 // statistics readers iterate snapshots.
+//
+// Packet appends — the recording hot path, one or more per forwarded
+// packet — do not take the store lock. They land in one of several
+// shards, chosen by the record's (Src, Relay) stream key so records of
+// one stream stay in order, and each shard batch-commits to the main
+// slice (and any attached logs) once it fills. Readers drain the shards
+// first, so every record written before a read is visible to it; the
+// batching only defers *where* a record lives, never whether it is
+// seen. On a crash, at most one uncommitted batch per shard is lost to
+// an attached log — the log format already tolerates a truncated tail.
 type Store struct {
 	mu      sync.RWMutex
 	packets []Packet
 	scenes  []Scene
 	sinks   []*LogWriter // attached streaming logs (see wal.go)
+
+	shards [packetShards]packetShard
+}
+
+// packetShards spreads concurrent recorders; a power of two so the
+// stream hash reduces with a mask.
+const packetShards = 16
+
+// packetFlushBatch is how many records a shard buffers before
+// committing them to the main slice and the attached logs in one lock
+// acquisition.
+const packetFlushBatch = 256
+
+// packetShard is one striped append buffer.
+type packetShard struct {
+	mu    sync.Mutex
+	buf   []Packet
+	spare []Packet // recycled storage for the next buf
+
+	// commitMu serializes take→commit so batches of this shard enter
+	// the main slice in buffer-prefix order, keeping per-stream FIFO.
+	commitMu sync.Mutex
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
 
-// AddPacket appends a packet record.
+// shardOf maps a record to its stream's shard: records with the same
+// (Src, Relay) — i.e. the same in/out/drop stream, written by a single
+// server goroutine — always share a shard, preserving their order.
+func shardOf(p *Packet) int {
+	h := uint32(p.Src)*0x9e3779b1 ^ uint32(p.Relay)*0x85ebca6b
+	return int(h>>16^h) & (packetShards - 1)
+}
+
+// AddPacket appends a packet record. It takes only a shard lock; the
+// store lock is touched once per packetFlushBatch records.
 func (s *Store) AddPacket(p Packet) {
-	s.mu.Lock()
-	s.packets = append(s.packets, p)
-	sinks := s.sinks
-	s.mu.Unlock()
-	for _, lw := range sinks {
-		lw.Packet(p) // best effort; the in-memory store is authoritative
+	sh := &s.shards[shardOf(&p)]
+	sh.mu.Lock()
+	sh.buf = append(sh.buf, p)
+	full := len(sh.buf) >= packetFlushBatch
+	sh.mu.Unlock()
+	if full {
+		s.flushShard(sh)
 	}
+}
+
+// flushShard commits the shard's buffered records. commitMu makes the
+// take and the commit atomic with respect to other flushes of the same
+// shard, so batches append in the order they were buffered.
+func (s *Store) flushShard(sh *packetShard) {
+	sh.commitMu.Lock()
+	sh.mu.Lock()
+	batch := sh.buf
+	sh.buf = sh.spare[:0]
+	sh.spare = nil
+	sh.mu.Unlock()
+	if len(batch) > 0 {
+		s.mu.Lock()
+		s.packets = append(s.packets, batch...)
+		for _, lw := range s.sinks {
+			lw.packetBatch(batch) // best effort; the store is authoritative
+		}
+		s.mu.Unlock()
+	}
+	sh.mu.Lock()
+	if sh.spare == nil {
+		sh.spare = batch[:0]
+	}
+	sh.mu.Unlock()
+	sh.commitMu.Unlock()
+}
+
+// drain commits every shard's pending records; readers call it so
+// writes that happened before the read are visible in s.packets.
+func (s *Store) drain() {
+	for i := range s.shards {
+		s.flushShard(&s.shards[i])
+	}
+}
+
+// Sync commits all buffered records and flushes every attached log.
+// Call it before closing a log or handing the store to an external
+// reader; all Store readers drain implicitly.
+func (s *Store) Sync() error {
+	s.drain()
+	s.mu.RLock()
+	sinks := append([]*LogWriter(nil), s.sinks...)
+	s.mu.RUnlock()
+	for _, lw := range sinks {
+		if err := lw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AddScene appends a scene record.
@@ -111,6 +203,7 @@ func (s *Store) AddScene(e Scene) {
 
 // PacketCount returns the number of packet records.
 func (s *Store) PacketCount() int {
+	s.drain()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.packets)
@@ -126,6 +219,7 @@ func (s *Store) SceneCount() int {
 // Packets returns a copy of all packet records matching the filter.
 // A zero Filter matches everything.
 func (s *Store) Packets(f Filter) []Packet {
+	s.drain()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []Packet
@@ -140,6 +234,7 @@ func (s *Store) Packets(f Filter) []Packet {
 // ForEachPacket streams records through fn without copying the slice;
 // fn must not block long (the store lock is held).
 func (s *Store) ForEachPacket(fn func(Packet)) {
+	s.drain()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, p := range s.packets {
@@ -163,6 +258,7 @@ func (s *Store) Scenes(from, to vclock.Time) []Scene {
 
 // Span returns the time range covered by the recording.
 func (s *Store) Span() (from, to vclock.Time) {
+	s.drain()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	first := true
@@ -234,6 +330,7 @@ const snapshotVersion = 1
 
 // Save writes a binary snapshot of the store.
 func (s *Store) Save(w io.Writer) error {
+	s.drain()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	bw := bufio.NewWriter(w)

@@ -64,6 +64,22 @@ func (lw *LogWriter) Packet(p Packet) error {
 	return writePacket(lw.bw, &p)
 }
 
+// packetBatch appends a batch of packet records under one lock
+// acquisition — the sink half of the store's sharded commit path.
+func (lw *LogWriter) packetBatch(ps []Packet) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	for i := range ps {
+		if err := lw.bw.WriteByte('P'); err != nil {
+			return err
+		}
+		if err := writePacket(lw.bw, &ps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Scene appends one scene record.
 func (lw *LogWriter) Scene(e Scene) error {
 	lw.mu.Lock()
@@ -96,6 +112,7 @@ func (lw *LogWriter) Close() error {
 // AddPacket/AddScene is also streamed to the log. Existing contents are
 // written out first, so attaching mid-run is safe.
 func (s *Store) Attach(lw *LogWriter) error {
+	s.drain()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range s.packets {

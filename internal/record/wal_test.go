@@ -85,10 +85,12 @@ func TestStoreAttachStreamsLive(t *testing.T) {
 	if err := s.Attach(lw); err != nil {
 		t.Fatal(err)
 	}
-	// Live appends stream through.
+	// Live appends stream through once the shard buffers commit.
 	s.AddPacket(samplePacket(2))
 	s.AddScene(Scene{At: 9, Op: "add"})
-	lw.Flush()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	got, err := LoadLog(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +116,11 @@ func TestStoreAttachConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	lw.Flush()
+	// Sync commits the sharded append buffers to the log and flushes it;
+	// a bare lw.Flush() would miss batches still buffered in the shards.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	got, err := LoadLog(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)

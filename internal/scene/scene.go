@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -83,7 +84,9 @@ type NodeSnapshot struct {
 	Mobile bool
 }
 
-// Scene is safe for concurrent use.
+// Scene is safe for concurrent use. Mutations serialize on mu; the
+// dispatch read path (Dispatch/View, see view.go) is lock-free over
+// epoch snapshots published from under the same mutex.
 type Scene struct {
 	mu        sync.Mutex
 	clk       vclock.Clock
@@ -96,13 +99,24 @@ type Scene struct {
 	paused    bool
 	seed      int64
 	nextSeed  int64
+
+	// walkerIDs caches the sorted walker iteration order for Tick;
+	// nil means invalidated (a walker was attached or detached).
+	walkerIDs []radio.NodeID
+
+	// Dispatch-view state (view.go). views is the published epoch;
+	// dirty, rebuilds and allDirty are guarded by mu.
+	views    atomic.Pointer[viewSet]
+	dirty    map[radio.ChannelID]struct{}
+	rebuilds map[radio.ChannelID]uint64
+	allDirty bool
 }
 
 // New creates a scene over the given neighbor table (usually
 // radio.NewIndexed). clk supplies event timestamps; seed makes mobility
 // deterministic.
 func New(tab radio.NeighborTable, clk vclock.Clock, seed int64) *Scene {
-	return &Scene{
+	s := &Scene{
 		clk:      clk,
 		tab:      tab,
 		models:   make(map[radio.ChannelID]linkmodel.Model),
@@ -111,7 +125,11 @@ func New(tab radio.NeighborTable, clk vclock.Clock, seed int64) *Scene {
 		ids:      make(map[radio.NodeID]bool),
 		seed:     seed,
 		nextSeed: seed,
+		dirty:    make(map[radio.ChannelID]struct{}),
+		rebuilds: make(map[radio.ChannelID]uint64),
 	}
+	s.views.Store(&viewSet{defModel: s.defModel})
+	return s
 }
 
 // Subscribe registers a listener for all subsequent events.
@@ -137,7 +155,9 @@ func (s *Scene) AddNode(id radio.NodeID, pos geom.Vec2, radios []radio.Radio) er
 	}
 	s.tab.AddNode(&radio.Node{ID: id, Pos: pos, Radios: radios})
 	s.ids[id] = true
+	s.markNodeDirtyLocked(radios)
 	s.emitLocked(Event{Kind: NodeAdded, Node: id, Pos: pos, Radios: append([]radio.Radio(nil), radios...)})
+	s.publishLocked()
 	return nil
 }
 
@@ -146,13 +166,19 @@ func (s *Scene) AddNode(id radio.NodeID, pos geom.Vec2, radios []radio.Radio) er
 func (s *Scene) RemoveNode(id radio.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.tab.Node(id); !exists {
+	n, exists := s.tab.Node(id)
+	if !exists {
 		return
 	}
+	s.markNodeDirtyLocked(n.Radios)
 	s.tab.RemoveNode(id)
-	delete(s.walkers, id)
+	if _, ok := s.walkers[id]; ok {
+		delete(s.walkers, id)
+		s.walkerIDs = nil
+	}
 	delete(s.ids, id)
 	s.emitLocked(Event{Kind: NodeRemoved, Node: id})
+	s.publishLocked()
 }
 
 // MoveNode teleports a VMN — the GUI drag-and-drop. It detaches any
@@ -160,12 +186,18 @@ func (s *Scene) RemoveNode(id radio.NodeID) {
 func (s *Scene) MoveNode(id radio.NodeID, pos geom.Vec2) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.tab.Node(id); !exists {
+	n, exists := s.tab.Node(id)
+	if !exists {
 		return
 	}
-	delete(s.walkers, id)
+	if _, ok := s.walkers[id]; ok {
+		delete(s.walkers, id)
+		s.walkerIDs = nil
+	}
 	s.tab.Move(id, pos)
+	s.markNodeDirtyLocked(n.Radios)
 	s.emitLocked(Event{Kind: NodeMoved, Node: id, Pos: pos, Detail: "operator"})
+	s.publishLocked()
 }
 
 // SetRadios replaces a VMN's radio set: channel switches, range
@@ -173,11 +205,16 @@ func (s *Scene) MoveNode(id radio.NodeID, pos geom.Vec2) {
 func (s *Scene) SetRadios(id radio.NodeID, radios []radio.Radio) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.tab.Node(id); !exists {
+	n, exists := s.tab.Node(id)
+	if !exists {
 		return
 	}
+	// Both the channels left and the channels joined change views.
+	s.markNodeDirtyLocked(n.Radios)
+	s.markNodeDirtyLocked(radios)
 	s.tab.SetRadios(id, radios)
 	s.emitLocked(Event{Kind: RadiosChanged, Node: id, Radios: append([]radio.Radio(nil), radios...)})
+	s.publishLocked()
 }
 
 // SetRange adjusts the range of every radio of id tuned to ch — the
@@ -202,8 +239,10 @@ func (s *Scene) SetRange(id radio.NodeID, ch radio.ChannelID, r float64) {
 		return
 	}
 	s.tab.SetRadios(id, radios)
+	s.markChannelDirtyLocked(ch)
 	s.emitLocked(Event{Kind: RadiosChanged, Node: id, Radios: radios,
 		Detail: fmt.Sprintf("range(%v)=%g", ch, r)})
+	s.publishLocked()
 	s.mu.Unlock()
 }
 
@@ -218,6 +257,7 @@ func (s *Scene) SetMobility(id radio.NodeID, m mobility.Model) {
 	}
 	s.nextSeed++
 	s.walkers[id] = m.NewWalker(n.Pos, rand.New(rand.NewSource(s.nextSeed)))
+	s.walkerIDs = nil
 	s.emitLocked(Event{Kind: MobilityChanged, Node: id, Pos: n.Pos})
 }
 
@@ -229,6 +269,7 @@ func (s *Scene) ClearMobility(id radio.NodeID) {
 		return
 	}
 	delete(s.walkers, id)
+	s.walkerIDs = nil
 	s.emitLocked(Event{Kind: MobilityChanged, Node: id, Detail: "cleared"})
 }
 
@@ -240,7 +281,9 @@ func (s *Scene) SetLinkModel(ch radio.ChannelID, m linkmodel.Model) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.models[ch] = m
+	s.markChannelDirtyLocked(ch)
 	s.emitLocked(Event{Kind: LinkModelChanged, Channel: ch})
+	s.publishLocked()
 	return nil
 }
 
@@ -253,7 +296,9 @@ func (s *Scene) SetDefaultLinkModel(m linkmodel.Model) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.defModel = m
+	s.allDirty = true
 	s.emitLocked(Event{Kind: LinkModelChanged, Detail: "default"})
+	s.publishLocked()
 	return nil
 }
 
@@ -276,20 +321,25 @@ func (s *Scene) Paused() bool {
 }
 
 // Tick advances every mobility walker to time now and updates the
-// neighbor tables. The server runs this on a fixed cadence.
+// neighbor tables. The server runs this on a fixed cadence. Dispatch
+// views are republished once per tick: each channel touched by any of
+// the moves is rebuilt exactly once, however many walkers moved on it.
 func (s *Scene) Tick(now vclock.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.paused {
 		return
 	}
-	// Deterministic iteration order keeps runs reproducible.
-	ids := make([]radio.NodeID, 0, len(s.walkers))
-	for id := range s.walkers {
-		ids = append(ids, id)
+	// Deterministic iteration order keeps runs reproducible. The sorted
+	// slice is cached; attaching or detaching a walker invalidates it.
+	if s.walkerIDs == nil {
+		s.walkerIDs = make([]radio.NodeID, 0, len(s.walkers))
+		for id := range s.walkers {
+			s.walkerIDs = append(s.walkerIDs, id)
+		}
+		sort.Slice(s.walkerIDs, func(i, j int) bool { return s.walkerIDs[i] < s.walkerIDs[j] })
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range s.walkerIDs {
 		w := s.walkers[id]
 		pos := w.Pos(now)
 		n, ok := s.tab.Node(id)
@@ -297,8 +347,10 @@ func (s *Scene) Tick(now vclock.Time) {
 			continue
 		}
 		s.tab.Move(id, pos)
+		s.markNodeDirtyLocked(n.Radios)
 		s.emitLocked(Event{Kind: NodeMoved, Node: id, Pos: pos, Detail: "mobility"})
 	}
+	s.publishLocked()
 }
 
 // ---------------------------------------------------------------------------
@@ -373,6 +425,7 @@ func (s *Scene) Len() int {
 type Ticker struct {
 	stop chan struct{}
 	done chan struct{}
+	once sync.Once
 }
 
 // StartTicker begins ticking sc every step of emulation time.
@@ -392,12 +445,11 @@ func StartTicker(sc *Scene, clk vclock.WaitClock, step time.Duration) *Ticker {
 	return t
 }
 
-// Stop halts the ticker and waits for its goroutine.
+// Stop halts the ticker and waits for its goroutine. Safe to call from
+// several goroutines: the close runs once (two concurrent Stops could
+// previously both pass a select-based check and panic on the second
+// close).
 func (t *Ticker) Stop() {
-	select {
-	case <-t.stop:
-	default:
-		close(t.stop)
-	}
+	t.once.Do(func() { close(t.stop) })
 	<-t.done
 }
