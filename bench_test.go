@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/scene"
 	"repro/internal/sched"
@@ -205,7 +206,10 @@ func BenchmarkServerForwardPipeline(b *testing.B) {
 // delivery pipeline: one broadcast fans out to 8 receiver sessions, so
 // every iteration pushes through 8 outbound writer queues
 // concurrently. The old goroutine-per-packet path paid a goroutine
-// spawn per delivery here; the queue path pays one enqueue.
+// spawn per delivery here; the queue path pays one enqueue. The run is
+// instrumented with the obs registry (default 1-in-64 sampling, the
+// production setting) and reports per-stage p99 latencies — the
+// overhead baseline recorded in BENCH_obs.json.
 func BenchmarkSessionQueueFanout(b *testing.B) {
 	const receivers = 8
 	clk := vclock.NewSystem(1000)
@@ -215,7 +219,8 @@ func BenchmarkSessionQueueFanout(b *testing.B) {
 		sc.AddNode(radio.NodeID(i+2), geom.V(float64(10*(i+1)), 0),
 			[]radio.Radio{{Channel: 1, Range: 500}})
 	}
-	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc})
+	reg := obs.NewRegistry()
+	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc, Obs: reg})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -253,6 +258,16 @@ func BenchmarkSessionQueueFanout(b *testing.B) {
 	b.StopTimer()
 	if drops := srv.Stats().QueueDrops; drops != 0 {
 		b.Fatalf("lossless fan-out dropped %d deliveries", drops)
+	}
+	for _, st := range [...]struct{ name, metric string }{
+		{"poem_ingest_ns", "ingest-p99-ns"},
+		{"poem_dispatch_ns", "dispatch-p99-ns"},
+		{"poem_enqueue_ns", "enqueue-p99-ns"},
+		{"poem_send_ns", "send-p99-ns"},
+	} {
+		if h := reg.FindHistogram(st.name); h != nil && h.Count() > 0 {
+			b.ReportMetric(h.Quantile(0.99), st.metric)
+		}
 	}
 }
 

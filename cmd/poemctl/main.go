@@ -7,6 +7,10 @@
 //	poemctl -server 127.0.0.1:7001 add 1 pos 100,100 radio ch=1 range=200
 //	poemctl -server 127.0.0.1:7001 show
 //
+// Continuous counters (polls `stats` and prints per-second rates):
+//
+//	poemctl -server 127.0.0.1:7001 watch
+//
 // Interactive (reads commands from stdin):
 //
 //	poemctl -server 127.0.0.1:7001
@@ -19,11 +23,14 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
 	server := flag.String("server", "127.0.0.1:7001", "poemd control address")
+	interval := flag.Duration("interval", time.Second, "watch poll interval")
 	flag.Parse()
 
 	conn, err := net.Dial("tcp", *server)
@@ -33,24 +40,38 @@ func main() {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 
-	send := func(cmd string) bool {
+	// exec sends one command and collects the reply lines up to the "."
+	// terminator; ok is false when the connection died.
+	exec := func(cmd string) ([]string, bool) {
 		if _, err := fmt.Fprintln(conn, cmd); err != nil {
 			log.Fatalf("poemctl: %v", err)
 		}
+		var lines []string
 		for {
 			line, err := br.ReadString('\n')
 			if err != nil {
-				return false
+				return lines, false
 			}
 			line = strings.TrimRight(line, "\n")
 			if line == "." {
-				return true
+				return lines, true
 			}
-			fmt.Println(line)
+			lines = append(lines, line)
 		}
+	}
+	send := func(cmd string) bool {
+		lines, ok := exec(cmd)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return ok
 	}
 
 	if args := flag.Args(); len(args) > 0 {
+		if args[0] == "watch" {
+			watch(exec, *interval)
+			return
+		}
 		send(strings.Join(args, " "))
 		return
 	}
@@ -72,4 +93,58 @@ func main() {
 			return
 		}
 	}
+}
+
+// watch polls the stats verb and renders per-second counter deltas plus
+// the sampled stage-latency quantiles, one line per poll — `top` for a
+// running emulation.
+func watch(exec func(string) ([]string, bool), interval time.Duration) {
+	var prev map[string]int64
+	var prevAt time.Time
+	for {
+		lines, ok := exec("stats")
+		if len(lines) > 0 && strings.HasPrefix(lines[0], "err:") {
+			fmt.Println(lines[0])
+			return
+		}
+		if len(lines) > 0 {
+			cur := parseCounters(lines[0])
+			now := time.Now()
+			if prev != nil {
+				dt := now.Sub(prevAt).Seconds()
+				rate := func(k string) float64 {
+					return float64(cur[k]-prev[k]) / dt
+				}
+				fmt.Printf("%s clients=%d sched=%d recv/s=%.0f fwd/s=%.0f drop/s=%.0f noroute/s=%.0f qdrop/s=%.0f clamp/s=%.0f\n",
+					now.Format("15:04:05"), cur["clients"], cur["scheduled"],
+					rate("received"), rate("forwarded"), rate("dropped"),
+					rate("noroute"), rate("queuedrops"), rate("stampclamped"))
+				for _, l := range lines[1:] {
+					if t := strings.TrimSpace(l); strings.Contains(t, "samples=") {
+						fmt.Printf("         %s\n", t)
+					}
+				}
+			}
+			prev, prevAt = cur, now
+		}
+		if !ok {
+			return
+		}
+		time.Sleep(interval)
+	}
+}
+
+// parseCounters splits a "k=v k=v ..." stats line into integers.
+func parseCounters(line string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, f := range strings.Fields(line) {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			continue
+		}
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			out[k] = n
+		}
+	}
+	return out
 }

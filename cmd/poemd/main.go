@@ -25,6 +25,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
@@ -48,16 +49,23 @@ func main() {
 			"per-client outbound queue depth before drop-oldest engages")
 		maxSkew = flag.Duration("maxskew", core.DefaultMaxStampSkew,
 			"clamp client stamps to now+maxskew (negative to disable)")
+		debugAddr = flag.String("debug", "",
+			"HTTP debug listen address serving /metrics, /trace and /debug/pprof (empty to disable)")
+		sampleEvery = flag.Int("obs-sample", 0,
+			"time+trace one packet in N per session (0 = default, negative = off)")
 	)
 	flag.Parse()
 
 	clk := vclock.NewSystem(*scale)
 	sc := scene.New(radio.NewIndexed(250), clk, *seed)
 	store := record.NewStore()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0, 0)
 	srv, err := core.NewServer(core.ServerConfig{
 		Clock: clk, Scene: sc, Store: store,
 		Seed: *seed, TickStep: *tick, AutoCreateNodes: *autoCreate,
 		SendQueueDepth: *sendQueue, MaxStampSkew: *maxSkew,
+		Obs: reg, Tracer: tracer, ObsSampleEvery: *sampleEvery,
 	})
 	if err != nil {
 		log.Fatalf("poemd: %v", err)
@@ -105,6 +113,18 @@ func main() {
 		srv.Serve(lis)
 	}()
 
+	// The debug endpoint's scrape handlers read the registry and tracer;
+	// serveDone gates them so a late scrape answers 503 instead of racing
+	// the store/WAL teardown below.
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		dbg, err = obs.ListenDebug(*debugAddr, obs.Handler(reg, tracer, serveDone))
+		if err != nil {
+			log.Fatalf("poemd: debug: %v", err)
+		}
+		log.Printf("poemd: debug on http://%s (/metrics /trace /debug/pprof)", dbg.Addr())
+	}
+
 	var ctrl *control.Server
 	if *controlAddr != "" {
 		ctrl = control.NewServer(sc, srv, region)
@@ -136,13 +156,21 @@ func main() {
 			log.Printf("poemd: scenario complete")
 		}
 	}
+	// Shutdown ordering: stop the intake (client listener, then the
+	// server's sessions/scanner), wait for Serve to return — which also
+	// closes the serveDone gate, flipping the debug scrape endpoints to
+	// 503 — then stop every operator listener (control, debug) so no
+	// handler can touch the store once the WAL sync/close below begins.
 	close(stopScript)
 	lis.Close()
 	srv.Close()
+	<-serveDone
 	if ctrl != nil {
 		ctrl.Close()
 	}
-	<-serveDone
+	if dbg != nil {
+		dbg.Close()
+	}
 
 	if wal != nil {
 		if err := store.Sync(); err != nil {

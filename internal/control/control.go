@@ -29,11 +29,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/radio"
 	"repro/internal/render"
 	"repro/internal/scene"
 	"repro/internal/script"
@@ -164,9 +167,36 @@ func (s *Server) execute(line string, w io.Writer) {
 		fmt.Fprintf(w, "clients=%d received=%d forwarded=%d dropped=%d noroute=%d scheduled=%d queuedrops=%d stampclamped=%d\n",
 			st.Clients, st.Received, st.Forwarded, st.Dropped, st.NoRoute, st.Scheduled,
 			st.QueueDrops, st.StampClamped)
+		// One line per channel: how often its dispatch view was rebuilt
+		// (the §4.2 channel-indexed update cost, live).
+		rebuilds := s.scene.ViewRebuildCounts()
+		chans := make([]radio.ChannelID, 0, len(rebuilds))
+		for ch := range rebuilds {
+			chans = append(chans, ch)
+		}
+		sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+		for _, ch := range chans {
+			fmt.Fprintf(w, "  %v viewrebuilds=%d\n", ch, rebuilds[ch])
+		}
+		// One line per session: its traffic and slow-client queue state.
 		for _, ss := range s.emu.SessionStats() {
 			fmt.Fprintf(w, "  %v received=%d forwarded=%d queuedrops=%d queuedepth=%d\n",
 				ss.ID, ss.Received, ss.Forwarded, ss.QueueDrops, ss.QueueDepth)
+		}
+		// Sampled per-stage latency quantiles from the metrics registry.
+		reg := s.emu.Obs()
+		for _, hd := range [...]struct{ label, name string }{
+			{"ingest", "poem_ingest_ns"}, {"dispatch", "poem_dispatch_ns"},
+			{"enqueue", "poem_enqueue_ns"}, {"send", "poem_send_ns"},
+			{"deliverlag", "poem_deliver_lag_ns"},
+		} {
+			h := reg.FindHistogram(hd.name)
+			if h == nil || h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %s samples=%d p50=%v p95=%v p99=%v\n", hd.label, h.Count(),
+				time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.95)),
+				time.Duration(h.Quantile(0.99)))
 		}
 	default:
 		// Everything else is a scene mutation: reuse the script parser

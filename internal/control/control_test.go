@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/radio"
 	"repro/internal/scene"
@@ -93,6 +94,36 @@ func TestStatsWithoutEmulator(t *testing.T) {
 	srv, _ := newControl()
 	if out := srv.Execute("stats"); !strings.HasPrefix(out, "err:") {
 		t.Errorf("stats: %q", out)
+	}
+}
+
+func TestStatsWithEmulator(t *testing.T) {
+	clk := vclock.NewManual(0)
+	sc := scene.New(radio.NewIndexed(200), clk, 1)
+	emu, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sc, emu, geom.R(0, 0, 500, 500))
+	srv.Execute("add 1 pos 100,100 radio ch=1 range=200")
+	srv.Execute("add 2 pos 150,100 radio ch=1 range=200")
+	out := srv.Execute("stats")
+	if !strings.HasPrefix(out, "clients=0 received=0") {
+		t.Errorf("stats aggregate line: %q", out)
+	}
+	// Two adds on channel 1 → two view rebuilds, one line for the channel.
+	if !strings.Contains(out, "ch1 viewrebuilds=2") {
+		t.Errorf("stats missing per-channel rebuild line:\n%s", out)
+	}
+	// Idle server: no samples yet, so no latency lines.
+	if strings.Contains(out, "p99=") {
+		t.Errorf("stats printed latency lines with no samples:\n%s", out)
+	}
+	// Feed the ingest histogram directly; the quantile line must appear.
+	emu.Obs().FindHistogram("poem_ingest_ns").Observe(1500 * time.Nanosecond)
+	out = srv.Execute("stats")
+	if !strings.Contains(out, "ingest samples=1") || !strings.Contains(out, "p99=") {
+		t.Errorf("stats missing stage latency line:\n%s", out)
 	}
 }
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+)
+
+// TestObservabilityPipeline drives real traffic with every packet
+// sampled and checks the full observability surface: registry counters
+// match Stats, every stage histogram saw observations, and the tracer
+// holds at least one complete five-stage lifecycle record.
+func TestObservabilityPipeline(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0, 0)
+	r := newRig(t, func(cfg *ServerConfig) {
+		cfg.Obs = reg
+		cfg.Tracer = tr
+		cfg.ObsSampleEvery = 1
+	})
+	r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
+	r.scene.AddNode(2, geom.V(100, 0), oneRadio(1, 200))
+	sk := newSink()
+	c1 := r.client(1, nil)
+	r.client(2, sk)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := c1.SendTo(2, 1, 0, []byte("trace-me")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		sk.wait(t, 5*time.Second)
+	}
+
+	if got := reg.Counter("poem_received_total", "").Load(); got != n {
+		t.Errorf("poem_received_total = %d, want %d", got, n)
+	}
+	st := r.server.Stats()
+	if st.Received != n || st.Forwarded != n {
+		t.Errorf("Stats = %+v, want %d received+forwarded", st, n)
+	}
+	for _, name := range []string{"poem_ingest_ns", "poem_dispatch_ns", "poem_enqueue_ns", "poem_send_ns"} {
+		h := reg.FindHistogram(name)
+		if h == nil {
+			t.Fatalf("%s not registered", name)
+		}
+		if h.Count() == 0 {
+			t.Errorf("%s recorded no observations", name)
+		}
+	}
+
+	// The writer commits the record after the socket send, which races
+	// the sink callback — poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var complete int
+		for _, rec := range tr.Records() {
+			if rec.Complete() {
+				complete++
+				if rec.Src != 1 || rec.Relay != 2 {
+					t.Fatalf("trace record misattributed: %+v", rec)
+				}
+				if rec.Ingest < rec.Stamp || rec.Resolve < rec.Ingest ||
+					rec.Enqueue < rec.Resolve || rec.Send < rec.Enqueue {
+					t.Fatalf("trace stages out of order: %+v", rec)
+				}
+			}
+		}
+		if complete > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			c, d := tr.Totals()
+			t.Fatalf("no complete trace record (committed=%d dropped=%d)", c, d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"poem_received_total", "poem_forwarded_total", "poem_dropped_total",
+		"poem_noroute_total", "poem_queue_drops_total", "poem_stamp_clamped_total",
+		"poem_clients", "poem_scheduled", "poem_clock_seconds",
+		"poem_scene_nodes", "poem_scene_view_rebuilds_total",
+		"poem_record_packets_total", "poem_record_scenes_total",
+		"poem_ingest_ns_p99", "poem_dispatch_ns_bucket", "poem_send_ns_count",
+		"poem_trace_records_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("NaN in /metrics output")
+	}
+}
+
+// TestObsSamplingDisabled pins the negative setting: ObsSampleEvery < 0
+// turns stage timing and tracing off entirely while counters keep
+// running.
+func TestObsSamplingDisabled(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newRig(t, func(cfg *ServerConfig) {
+		cfg.Obs = reg
+		cfg.ObsSampleEvery = -1
+	})
+	r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
+	r.scene.AddNode(2, geom.V(100, 0), oneRadio(1, 200))
+	sk := newSink()
+	c1 := r.client(1, nil)
+	r.client(2, sk)
+	if err := c1.SendTo(2, 1, 0, []byte("untimed")); err != nil {
+		t.Fatal(err)
+	}
+	sk.wait(t, 5*time.Second)
+	if got := reg.Counter("poem_received_total", "").Load(); got != 1 {
+		t.Errorf("poem_received_total = %d, want 1", got)
+	}
+	if h := reg.FindHistogram("poem_ingest_ns"); h.Count() != 0 {
+		t.Errorf("ingest histogram observed %d with sampling disabled", h.Count())
+	}
+	if c, _ := r.server.Tracer().Totals(); c != 0 {
+		t.Errorf("tracer committed %d records with sampling disabled", c)
+	}
+}

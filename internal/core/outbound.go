@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/wire"
 )
@@ -27,6 +28,7 @@ type outMsg struct {
 	kind   outKind
 	pkt    wire.Packet   // outData: the packet due now
 	radios []radio.Radio // outRadios: the VMN's new radio set
+	trace  uint32        // outData: obs trace-slot handle (0 = untraced)
 }
 
 // sendQueue is the bounded per-session outbound queue of the §3.2
@@ -45,22 +47,30 @@ type sendQueue struct {
 	closed bool
 	wake   chan struct{} // 1-buffered writer wakeup
 
-	drops      atomic.Uint64  // entries discarded by the slow-client policy
-	totalDrops *atomic.Uint64 // server-wide aggregate, shared by all sessions
+	drops      atomic.Uint64 // entries discarded by the slow-client policy
+	totalDrops *obs.Counter  // server-wide aggregate, shared by all sessions
+	tracer     *obs.Tracer   // releases trace slots of evicted entries
 }
 
-func newSendQueue(limit int, totalDrops *atomic.Uint64) *sendQueue {
+func newSendQueue(limit int, totalDrops *obs.Counter, tracer *obs.Tracer) *sendQueue {
 	if limit <= 0 {
 		limit = DefaultSendQueueDepth
 	}
-	return &sendQueue{limit: limit, wake: make(chan struct{}, 1), totalDrops: totalDrops}
+	return &sendQueue{limit: limit, wake: make(chan struct{}, 1), totalDrops: totalDrops, tracer: tracer}
 }
 
 // countDrop charges one policy discard to the session and the server.
 func (q *sendQueue) countDrop() {
 	q.drops.Add(1)
 	if q.totalDrops != nil {
-		q.totalDrops.Add(1)
+		q.totalDrops.Inc()
+	}
+}
+
+// releaseTrace abandons an evicted entry's trace slot, if it has one.
+func (q *sendQueue) releaseTrace(m *outMsg) {
+	if m.trace != 0 && q.tracer != nil {
+		q.tracer.Release(m.trace)
 	}
 }
 
@@ -81,6 +91,7 @@ func (q *sendQueue) push(m outMsg) bool {
 			// them; a notification displaces the oldest one.
 			if m.kind == outData {
 				q.countDrop()
+				q.releaseTrace(&m)
 				q.mu.Unlock()
 				return false
 			}
@@ -138,6 +149,7 @@ func (q *sendQueue) dropOldestDataLocked() bool {
 }
 
 func (q *sendQueue) dropHeadLocked() {
+	q.releaseTrace(&q.buf[q.head])
 	q.buf[q.head] = outMsg{}
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--

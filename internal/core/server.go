@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/linkmodel"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
@@ -86,6 +87,24 @@ type ServerConfig struct {
 	// negative disables the clamp.
 	MaxStampSkew time.Duration
 
+	// --- Observability (internal/obs) ---
+
+	// Obs is the metrics registry the server's counters, gauges and
+	// stage histograms land on. nil creates a private registry;
+	// Server.Obs() returns whichever is in effect. Sharing one registry
+	// across servers shares the counters (registration is idempotent).
+	Obs *obs.Registry
+	// Tracer records sampled packet lifecycles for the /trace debug
+	// endpoint. nil creates one with default dimensions; Server.Tracer()
+	// returns it.
+	Tracer *obs.Tracer
+	// ObsSampleEvery gates the per-packet timing and tracing: one packet
+	// in every ObsSampleEvery per session is stage-timed and traced.
+	// Counters always run. 0 selects DefaultObsSampleEvery; negative
+	// disables sampling entirely (the steady-state cost drops to one
+	// atomic load per packet).
+	ObsSampleEvery int
+
 	// --- JEmu-style baseline knobs (internal/baseline/jemu presets) ---
 
 	// StampAtServer discards the clients' parallel timestamps and
@@ -106,6 +125,15 @@ type ServerConfig struct {
 	// so the locked/snapshot comparison measures the same pipeline.
 	LockedDispatch bool
 }
+
+// DefaultObsSampleEvery is the per-session sampling period for stage
+// timing and lifecycle tracing when ServerConfig.ObsSampleEvery is
+// zero. At 1-in-64 the sampled path's timing cost (a few time.Now
+// reads plus histogram adds, ~100–200 ns) amortizes to a low single-
+// digit nanosecond overhead per packet — inside the forwarding path's
+// performance budget — while a steady flow still yields several
+// samples per second.
+const DefaultObsSampleEvery = 64
 
 // DefaultMaxStampSkew is the future-stamp clamp applied when
 // ServerConfig.MaxStampSkew is zero. One second comfortably exceeds any
@@ -130,13 +158,26 @@ type Server struct {
 	chanMu   sync.Mutex // guards chanFree (SerializeChannels extension)
 	chanFree map[radio.ChannelID]vclock.Time
 
-	// Counters (atomic; exported through Stats).
-	nReceived     atomic.Uint64
-	nForwarded    atomic.Uint64
-	nDropped      atomic.Uint64
-	nNoRoute      atomic.Uint64
-	nQueueDrops   atomic.Uint64 // includes drops from departed sessions
-	nStampClamped atomic.Uint64
+	// Observability. The counters live on the registry (exported through
+	// Stats and /metrics); the histograms and tracer record only sampled
+	// packets, gated by sampleEvery (one atomic load on the unsampled
+	// path — see ingest).
+	obs         *obs.Registry
+	tracer      *obs.Tracer
+	sampleEvery atomic.Uint32 // 0 = sampling disabled
+
+	mReceived     *obs.Counter
+	mForwarded    *obs.Counter
+	mDropped      *obs.Counter
+	mNoRoute      *obs.Counter
+	mQueueDrops   *obs.Counter // includes drops from departed sessions
+	mStampClamped *obs.Counter
+
+	hIngest     *obs.Histogram // wall ns: ingest entry → scheduled
+	hResolve    *obs.Histogram // wall ns: ingest entry → dispatch+filter done
+	hEnqueue    *obs.Histogram // wall ns: scanner hand-off to the send queue
+	hSend       *obs.Histogram // wall ns: the writer's conn.Send
+	hDeliverLag *obs.Histogram // emulation ns: departure fired past its due time
 }
 
 // ServerStats is a snapshot of server counters.
@@ -177,6 +218,11 @@ type session struct {
 
 	received  atomic.Uint64 // packets this client sent us
 	forwarded atomic.Uint64 // packets we delivered to this client
+
+	// obsTick is the sampling countdown for stage timing/tracing. Only
+	// the session's own reader goroutine touches it (same confinement as
+	// kept), so the gate costs no contended atomic on the hot path.
+	obsTick uint32
 }
 
 // keptTarget is one link-model survivor of a dispatch: the receiver and
@@ -213,6 +259,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		chanFree: make(map[radio.ChannelID]vclock.Time),
 	}
 	s.scanner = sched.NewScanner(cfg.Queue, cfg.Clock, s.deliver)
+	s.instrument(cfg)
 	if cfg.Store != nil {
 		cfg.Scene.Subscribe(func(e scene.Event) {
 			cfg.Store.AddScene(record.Scene{
@@ -245,6 +292,68 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	})
 	return s, nil
 }
+
+// instrument wires the server onto its metrics registry and tracer
+// (creating private ones when the config supplies none) and registers
+// every counter, gauge and stage histogram. Gauge callbacks run at
+// scrape time only and may take the server mutex.
+func (s *Server) instrument(cfg ServerConfig) {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tr := cfg.Tracer
+	if tr == nil {
+		tr = obs.NewTracer(0, 0)
+	}
+	s.obs, s.tracer = reg, tr
+
+	s.mReceived = reg.Counter("poem_received_total", "packets received from clients")
+	s.mForwarded = reg.Counter("poem_forwarded_total", "packet deliveries sent to clients")
+	s.mDropped = reg.Counter("poem_dropped_total", "deliveries killed by the link model")
+	s.mNoRoute = reg.Counter("poem_noroute_total", "packets with no reachable destination")
+	s.mQueueDrops = reg.Counter("poem_queue_drops_total", "deliveries discarded by the slow-client drop-oldest policy")
+	s.mStampClamped = reg.Counter("poem_stamp_clamped_total", "client timestamps clamped by the MaxStampSkew horizon")
+
+	s.hIngest = reg.Histogram("poem_ingest_ns", "wall time from ingest entry to the packet being scheduled (sampled)")
+	s.hResolve = reg.Histogram("poem_dispatch_ns", "wall time from ingest entry to dispatch view resolved and targets filtered (sampled)")
+	s.hEnqueue = reg.Histogram("poem_enqueue_ns", "wall time the scanner spends handing a due packet to its session's send queue (sampled)")
+	s.hSend = reg.Histogram("poem_send_ns", "wall time of the session writer's socket send (sampled)")
+	s.hDeliverLag = reg.Histogram("poem_deliver_lag_ns", "emulation time a departure fired past its scheduled due time (sampled)")
+
+	reg.Gauge("poem_clients", "connected sessions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	reg.Gauge("poem_scheduled", "forwarding schedule depth", func() float64 {
+		return float64(s.scanner.Pending())
+	})
+	reg.Gauge("poem_clock_seconds", "server emulation clock", func() float64 {
+		return float64(s.cfg.Clock.Now()) / 1e9
+	})
+
+	cfg.Scene.Instrument(reg)
+	if cfg.Store != nil {
+		cfg.Store.Instrument(reg)
+	}
+	tr.Instrument(reg)
+
+	switch {
+	case cfg.ObsSampleEvery < 0:
+		s.sampleEvery.Store(0)
+	case cfg.ObsSampleEvery == 0:
+		s.sampleEvery.Store(DefaultObsSampleEvery)
+	default:
+		s.sampleEvery.Store(uint32(cfg.ObsSampleEvery))
+	}
+}
+
+// Obs returns the server's metrics registry.
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Tracer returns the server's packet-lifecycle tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Start launches the scanner and mobility ticker. Serve calls it
 // implicitly; call it directly when driving sessions by hand in tests.
@@ -319,12 +428,12 @@ func (s *Server) Stats() ServerStats {
 	clients := len(s.sessions)
 	s.mu.Unlock()
 	return ServerStats{
-		Received:     s.nReceived.Load(),
-		Forwarded:    s.nForwarded.Load(),
-		Dropped:      s.nDropped.Load(),
-		NoRoute:      s.nNoRoute.Load(),
-		QueueDrops:   s.nQueueDrops.Load(),
-		StampClamped: s.nStampClamped.Load(),
+		Received:     s.mReceived.Load(),
+		Forwarded:    s.mForwarded.Load(),
+		Dropped:      s.mDropped.Load(),
+		NoRoute:      s.mNoRoute.Load(),
+		QueueDrops:   s.mQueueDrops.Load(),
+		StampClamped: s.mStampClamped.Load(),
 		Clients:      clients,
 		Scheduled:    s.scanner.Pending(),
 	}
@@ -431,7 +540,7 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 		id:   id,
 		conn: conn,
 		rng:  rand.New(rand.NewSource(s.cfg.Seed ^ int64(id)<<17 ^ 0x9e3779b9)),
-		q:    newSendQueue(s.cfg.SendQueueDepth, &s.nQueueDrops),
+		q:    newSendQueue(s.cfg.SendQueueDepth, s.mQueueDrops, s.tracer),
 		stop: make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -483,6 +592,20 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 
 // ingest is §3.2 steps 1–4 for one received packet.
 func (s *Server) ingest(sess *session, pkt wire.Packet) {
+	// Sampling gate: one atomic load; the countdown itself is confined
+	// to this session's reader goroutine. Sampled packets pay the
+	// time.Now reads, histogram adds and a tracer slot; everything else
+	// skips the entire instrumentation below.
+	sampled := false
+	var obsStart time.Time
+	if se := s.sampleEvery.Load(); se != 0 {
+		sess.obsTick++
+		if sess.obsTick >= se {
+			sess.obsTick = 0
+			sampled = true
+			obsStart = time.Now()
+		}
+	}
 	if s.cfg.SerialIngress {
 		// The centralized baseline: every packet crosses one interface
 		// and is processed serially before the next can be stamped.
@@ -512,16 +635,28 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		}
 		if horizon := now.Add(maxSkew); pkt.Stamp > horizon {
 			pkt.Stamp = horizon
-			s.nStampClamped.Add(1)
+			s.mStampClamped.Inc()
 		}
 	}
-	s.nReceived.Add(1)
+	s.mReceived.Inc()
 	sess.received.Add(1)
 	if s.cfg.Store != nil {
 		s.cfg.Store.AddPacket(record.Packet{
 			Kind: record.PacketIn, At: now, Stamp: pkt.Stamp,
 			Src: pkt.Src, Dst: pkt.Dst, Channel: pkt.Channel,
 			Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+		})
+	}
+	// Lifecycle trace: claim a slot for the sampled packet and seed the
+	// stages known here (the client's parallel stamp and our ingest
+	// time, both emulation ns). Later stages write through the handle.
+	var th uint32
+	if sampled {
+		th = s.tracer.Begin(obs.TraceRecord{
+			Src: uint32(pkt.Src), Dst: uint32(pkt.Dst),
+			Channel: uint16(pkt.Channel), Flow: pkt.Flow,
+			Seq: pkt.Seq, Size: uint32(pkt.Size()),
+			Stamp: int64(pkt.Stamp), Ingest: int64(now),
 		})
 	}
 	// Step 2: resolve NT(src, ch) and the channel's link model in one
@@ -551,7 +686,7 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		matched++
 		dec := model.Evaluate(nb.Dist, pkt.Size(), sess.rng)
 		if dec.Drop {
-			s.nDropped.Add(1)
+			s.mDropped.Inc()
 			if s.cfg.Store != nil {
 				s.cfg.Store.AddPacket(record.Packet{
 					Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
@@ -567,8 +702,17 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		}
 	}
 	sess.kept = kept
+	// Resolve stage done: dispatch view read, targets filtered, dice
+	// rolled. The histogram gets the wall cost, the trace the emulation
+	// timestamp.
+	if sampled {
+		s.hResolve.Observe(time.Since(obsStart))
+		if th != 0 {
+			s.tracer.Rec(th).Resolve = int64(s.cfg.Clock.Now())
+		}
+	}
 	if matched == 0 {
-		s.nNoRoute.Add(1)
+		s.mNoRoute.Inc()
 		if s.cfg.Store != nil {
 			s.cfg.Store.AddPacket(record.Packet{
 				Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
@@ -576,9 +720,11 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 				Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
 			})
 		}
+		s.finishIngest(sampled, obsStart, th)
 		return
 	}
 	if len(kept) == 0 {
+		s.finishIngest(sampled, obsStart, th)
 		return
 	}
 	if s.cfg.SerializeChannels {
@@ -593,24 +739,53 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		txEnd := txStart.Add(maxTx)
 		s.chanFree[pkt.Channel] = txEnd
 		s.chanMu.Unlock()
-		for _, k := range kept {
+		for i, k := range kept {
 			due := txEnd.Add(k.delay)
 			if due < now {
 				due = now
 			}
-			s.scanner.Push(sched.Item{Due: due, To: k.to, Pkt: pkt})
+			it := sched.Item{Due: due, To: k.to, Pkt: pkt}
+			if i == 0 {
+				it.Trace = th // one target completes the record
+			}
+			s.scanner.Push(it)
+		}
+		if sampled {
+			s.hIngest.Observe(time.Since(obsStart))
 		}
 		return
 	}
-	for _, k := range kept {
+	for i, k := range kept {
 		// The paper's base formula: t_forward = t_receipt + delay +
 		// size/bandwidth, per destination, independently.
 		due := pkt.Stamp.Add(k.delay + k.tx)
 		if due < now {
 			due = now // cannot ship into the past
 		}
-		// Step 4: into the schedule.
-		s.scanner.Push(sched.Item{Due: due, To: k.to, Pkt: pkt})
+		// Step 4: into the schedule. A broadcast's trace handle rides
+		// only the first kept target, so exactly one delivery commits it.
+		it := sched.Item{Due: due, To: k.to, Pkt: pkt}
+		if i == 0 {
+			it.Trace = th
+		}
+		s.scanner.Push(it)
+	}
+	if sampled {
+		s.hIngest.Observe(time.Since(obsStart))
+	}
+}
+
+// finishIngest closes out a sampled packet that left the pipeline at
+// ingest (no route, or every target lost the link-model roll): the
+// total-ingest histogram still gets its observation and the trace slot
+// is released. No-op for unsampled packets.
+func (s *Server) finishIngest(sampled bool, obsStart time.Time, th uint32) {
+	if !sampled {
+		return
+	}
+	s.hIngest.Observe(time.Since(obsStart))
+	if th != 0 {
+		s.tracer.Release(th)
 	}
 }
 
@@ -627,11 +802,17 @@ func (s *Server) deliver(it sched.Item) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if it.Trace != 0 {
+			s.tracer.Release(it.Trace)
+		}
 		return
 	}
 	sess := s.sessions[it.To]
 	s.mu.Unlock()
 	if sess == nil {
+		if it.Trace != 0 {
+			s.tracer.Release(it.Trace)
+		}
 		return // the client left between scheduling and departure
 	}
 	if sess.q.full() {
@@ -643,7 +824,20 @@ func (s *Server) deliver(it sched.Item) {
 		// drop-oldest engages as intended.
 		runtime.Gosched()
 	}
-	sess.q.push(outMsg{kind: outData, pkt: it.Pkt})
+	// A traced item marks a sampled packet: time the enqueue stage and
+	// record how far past its due time the departure fired. If push
+	// rejects the entry, the queue releases the trace slot itself.
+	var t0 time.Time
+	if it.Trace != 0 {
+		t0 = time.Now()
+		nowEmu := s.cfg.Clock.Now()
+		s.hDeliverLag.Observe(time.Duration(nowEmu - it.Due))
+		s.tracer.Rec(it.Trace).Enqueue = int64(nowEmu)
+	}
+	sess.q.push(outMsg{kind: outData, pkt: it.Pkt, trace: it.Trace})
+	if it.Trace != 0 {
+		s.hEnqueue.Observe(time.Since(t0))
+	}
 }
 
 // sessionWriter is the per-session sending goroutine: it drains the
@@ -663,10 +857,26 @@ func (s *Server) sessionWriter(sess *session) {
 				return
 			}
 		case outData:
+			var t0 time.Time
+			if m.trace != 0 {
+				t0 = time.Now()
+			}
 			if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
+				if m.trace != 0 {
+					s.tracer.Release(m.trace)
+				}
 				return
 			}
-			s.nForwarded.Add(1)
+			if m.trace != 0 {
+				// Final stage: the packet is on the wire. Stamp it, name
+				// the concrete receiver, and commit the record.
+				s.hSend.Observe(time.Since(t0))
+				rec := s.tracer.Rec(m.trace)
+				rec.Send = int64(s.cfg.Clock.Now())
+				rec.Relay = uint32(sess.id)
+				s.tracer.Commit(m.trace)
+			}
+			s.mForwarded.Inc()
 			sess.forwarded.Add(1)
 			if s.cfg.Store != nil {
 				s.cfg.Store.AddPacket(record.Packet{

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/linkmodel"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
@@ -94,6 +95,9 @@ type Figure10Result struct {
 	// windows — the paper's "minor error" between experiment and the
 	// expected real-time curve.
 	MaxDevFromExpected float64
+	// Overhead is the emulator's own sampled per-stage p99 during the
+	// run, so the curve comparison carries its measurement cost.
+	Overhead Overhead
 	// Recording is the run's full record store, for replay and custom
 	// analysis.
 	Recording *record.Store
@@ -142,9 +146,11 @@ func Figure10(w io.Writer, cfg Figure10Config) (Figure10Result, error) {
 		return Figure10Result{}, err
 	}
 
+	reg := obs.NewRegistry()
 	srv, err := core.NewServer(core.ServerConfig{
 		Clock: clk, Scene: sc, Store: store, Seed: cfg.Seed,
 		TickStep: 50 * time.Millisecond,
+		Obs:      reg, ObsSampleEvery: 8,
 	})
 	if err != nil {
 		return Figure10Result{}, err
@@ -218,6 +224,7 @@ func Figure10(w io.Writer, cfg Figure10Config) (Figure10Result, error) {
 	res.ExpectedReal = expectedRelayCurve(cfg, loss, rep.RealTime)
 	res.NonRealTime = serialStampCurve(store, flow, cfg)
 	res.MaxDevFromExpected = stats.MaxAbsDiff(res.Experiment, res.ExpectedReal)
+	res.Overhead = overheadFrom(reg)
 
 	if w != nil {
 		fmt.Fprintf(w, "Figure 10. Packet loss rate over time (window %v, %d sent, %d delivered)\n",
@@ -234,6 +241,7 @@ func Figure10(w io.Writer, cfg Figure10Config) (Figure10Result, error) {
 			fmt.Fprintf(w, "%8.1f  %12.3f  %12s  %12s\n", p.T, p.V, exp, nrt)
 		}
 		fmt.Fprintf(w, "max |experiment - expected real-time| = %.3f\n", res.MaxDevFromExpected)
+		fmt.Fprintf(w, "emulator overhead: %v\n", res.Overhead)
 	}
 	return res, nil
 }

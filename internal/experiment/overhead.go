@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Overhead summarizes the emulator's own per-stage p99 latencies during
+// an experiment run, read from the run's metrics registry. Publishing
+// these next to each result follows the "emulation results are only
+// trustworthy when the emulator publishes its own overhead" rule: a
+// curve is comparable with the analytic expectation only while the
+// server's processing stays far below the emulated timescale.
+type Overhead struct {
+	Samples     uint64        // sampled packets behind the quantiles
+	IngestP99   time.Duration // socket read → all targets resolved+scheduled
+	DispatchP99 time.Duration // neighbor+link-model resolution only
+	EnqueueP99  time.Duration // scheduler pop → writer queue push
+	SendP99     time.Duration // writer dequeue → socket write done
+}
+
+// overheadFrom extracts the stage quantiles from a run's registry.
+func overheadFrom(reg *obs.Registry) Overhead {
+	var o Overhead
+	read := func(name string, dst *time.Duration) {
+		h := reg.FindHistogram(name)
+		if h == nil || h.Count() == 0 {
+			return
+		}
+		*dst = time.Duration(h.Quantile(0.99))
+		if c := h.Count(); c > o.Samples {
+			o.Samples = c
+		}
+	}
+	read("poem_ingest_ns", &o.IngestP99)
+	read("poem_dispatch_ns", &o.DispatchP99)
+	read("poem_enqueue_ns", &o.EnqueueP99)
+	read("poem_send_ns", &o.SendP99)
+	return o
+}
+
+func (o Overhead) String() string {
+	return fmt.Sprintf("samples=%d ingest-p99=%v dispatch-p99=%v enqueue-p99=%v send-p99=%v",
+		o.Samples, o.IngestP99, o.DispatchP99, o.EnqueueP99, o.SendP99)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of log₂ buckets. Bucket i (i ≥ 1) counts
+// observations in [2^(i-1), 2^i) nanoseconds; bucket 0 counts zeros
+// (and clamped negatives). 48 buckets cover up to ~39 hours — far past
+// any per-packet latency this system can produce; larger observations
+// clamp into the last bucket.
+const HistBuckets = 48
+
+// Histogram is a lock-free latency histogram with logarithmic buckets.
+// Observe is wait-free (two or three uncontended-in-the-common-case
+// atomic adds, no allocation, no interface boxing), so it is safe to
+// call from the forwarding hot path behind a sampling gate.
+//
+// Memory-ordering contract: every bucket, the count and the sum are
+// independent atomics. A reader's snapshot is therefore not a single
+// consistent cut — a concurrent Observe may be visible in a bucket but
+// not yet in count, or vice versa. Quantile computation uses only the
+// bucket array (its own internally consistent totals), never mixing it
+// with the count field, so concurrent recording skews a quantile by at
+// most the in-flight observations, never produces nonsense.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds observed
+}
+
+// NewHistogram returns an empty histogram. Registry.Histogram is the
+// usual constructor; this one serves tests and unregistered use.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v uint64) int {
+	i := bits.Len64(v) // 0 for v==0; values in [2^(i-1), 2^i) → i
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations clamp to zero (the
+// clock stepped; the observation is still counted so rates stay right).
+func (h *Histogram) Observe(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns how many observations have been recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed nanoseconds.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Snapshot copies the bucket array and totals.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) in
+// nanoseconds, linearly interpolated inside the containing bucket. With
+// log₂ buckets the estimate is within a factor of two of the true
+// value; interpolation usually does much better. Returns 0 when the
+// histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Quantile computes the q-quantile from the snapshot's own bucket
+// totals (see the Histogram memory-ordering contract).
+func (s *HistSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation among `total`, 0-based.
+	rank := q * float64(total-1)
+	cum := float64(0)
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if rank < next {
+			lo, hi := bucketBounds(i)
+			// Position of the rank within this bucket's population.
+			frac := (rank - cum + 0.5) / float64(b)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(HistBuckets - 1)
+	return hi
+}
+
+// bucketBounds returns bucket i's value range [lo, hi).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}
+
+// UpperBound returns bucket i's exclusive upper bound in nanoseconds,
+// for cumulative (Prometheus "le") export.
+func UpperBound(i int) uint64 {
+	if i >= HistBuckets-1 {
+		return 1 << 62 // effectively +Inf; the writer prints "+Inf"
+	}
+	if i == 0 {
+		return 1
+	}
+	return 1 << i
+}

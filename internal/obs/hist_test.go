@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket map: zeros to bucket 0, powers
+// of two to the bucket whose range starts at them, huge values clamped.
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 46, 47}, {1<<63 - 1, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	h := NewHistogram()
+	h.Observe(-time.Second) // clamps to zero, still counted
+	if h.Count() != 1 || h.Sum() != 0 {
+		t.Errorf("negative observation: count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Snapshot().Buckets[0] != 1 {
+		t.Error("negative observation not in bucket 0")
+	}
+}
+
+// TestHistogramQuantileAccuracy draws log-uniform random latencies and
+// checks the bucketed quantiles against the exact sorted reference.
+// log₂ buckets guarantee a factor-2 bound; interpolation should do
+// better, so we assert within [½, 2] strictly and warn-level-check the
+// mean ratio is close to 1.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	h := NewHistogram()
+	vals := make([]float64, n)
+	for i := range vals {
+		// Latencies from ~100ns to ~100ms, log-uniform.
+		v := math.Pow(10, 2+rng.Float64()*6)
+		vals[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := vals[int(q*float64(n-1))]
+		got := h.Quantile(q)
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("q=%v: got %.0f, exact %.0f (ratio %.2f)", q, got, exact, got/exact)
+		}
+	}
+	if got := h.Quantile(1); got < vals[n-1]/2 {
+		t.Errorf("q=1: got %.0f, max %.0f", got, vals[n-1])
+	}
+	if NewHistogram().Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines (run
+// under -race) and checks totals add up.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1 << 20)))
+			}
+		}(w)
+	}
+	// Concurrent readers must never see torn state (only partial sums).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.Snapshot()
+			var tot uint64
+			for _, b := range s.Buckets {
+				tot += b
+			}
+			if tot > workers*per {
+				t.Errorf("snapshot bucket total %d exceeds observations", tot)
+				return
+			}
+			_ = s.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	s := h.Snapshot()
+	var tot uint64
+	for _, b := range s.Buckets {
+		tot += b
+	}
+	if tot != workers*per {
+		t.Errorf("bucket total = %d, want %d", tot, workers*per)
+	}
+}
+
+// TestObserveZeroAlloc pins the hot-path property the dispatch
+// instrumentation depends on: recording an observation allocates
+// nothing.
+func TestObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345 * time.Nanosecond)
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %v per call, want 0", allocs)
+	}
+	c := &Counter{}
+	if allocs := testing.AllocsPerRun(1000, func() { c.Inc() }); allocs != 0 {
+		t.Errorf("Counter.Inc allocates %v per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Histograms are emitted with
+// cumulative le-buckets plus _sum/_count, and — because scrapers of a
+// short-lived emulation run rarely get two samples to aggregate — the
+// p50/p95/p99 quantiles are precomputed as companion gauges
+// (<name>_p50 …), extracted from the log₂ buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		switch m.kind {
+		case kindCounter:
+			writeHeader(bw, m.name, m.help, "counter")
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Load())
+		case kindCounterFunc:
+			writeHeader(bw, m.name, m.help, "counter")
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counterFn())
+		case kindGauge:
+			writeHeader(bw, m.name, m.help, "gauge")
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+		case kindHistogram:
+			writeHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// writeHistogram emits the cumulative bucket series. Empty buckets
+// inside the occupied range are emitted (cumulative counts must not
+// skip), but the all-zero tail collapses into the +Inf bucket so an
+// idle histogram costs three lines, not fifty.
+func writeHistogram(w io.Writer, m *metric) {
+	s := m.hist.Snapshot()
+	writeHeader(w, m.name, m.help, "histogram")
+	highest := -1
+	for i, b := range s.Buckets {
+		if b != 0 {
+			highest = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= highest; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.name, UpperBound(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", m.name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", m.name, cum)
+	for _, q := range [...]struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(w, "%s_%s %s\n", m.name, q.suffix, formatFloat(s.Quantile(q.q)))
+	}
+}
+
+// formatFloat renders a gauge value; NaN and infinities are rendered in
+// Prometheus's spelling (the CI smoke test greps for NaN to catch
+// broken gauges, so the spelling must be stable).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

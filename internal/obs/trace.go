@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Packet-lifecycle tracing: a sampled packet is followed through the
+// five stages of the §3.2 pipeline —
+//
+//	client stamp → server ingest → dispatch resolve → queue enqueue → writer send
+//
+// — and its per-stage timestamps land in a fixed ring buffer, dumpable
+// as JSON from the /trace debug endpoint. Together with the stage
+// histograms this answers "where does time go inside the server" for
+// individual packets, not just in aggregate.
+//
+// Mechanics: the ingest path (already behind the server's sampling
+// gate) claims a preallocated slot with one CAS and threads the slot's
+// handle through the schedule item and the outbound queue entry, so
+// later stages write their timestamps straight into the slot — no hash
+// lookups, no allocation anywhere on the pipeline. The writer commits
+// the finished record into the ring (a cold, mutex-guarded copy) and
+// frees the slot. For broadcasts only the first surviving target
+// carries the handle, so exactly one delivery completes each record.
+//
+// Records are best-effort samples: a traced packet that is dropped
+// mid-pipeline releases its slot where the drop is observed, and a
+// reaper steals slots older than staleAfter (a traced packet abandoned
+// by a dying session) so leaks cannot disable tracing. A steal racing a
+// live owner can corrupt at most that one sampled record.
+
+// Trace stage timestamps are emulation-clock nanoseconds (vclock.Time
+// values, kept as int64 so obs stays dependency-free).
+
+// TraceRecord is one packet's completed lifecycle.
+type TraceRecord struct {
+	Src     uint32 `json:"src"`
+	Dst     uint32 `json:"dst"`
+	Relay   uint32 `json:"relay"` // concrete receiver that completed the record
+	Channel uint16 `json:"channel"`
+	Flow    uint16 `json:"flow"`
+	Seq     uint32 `json:"seq"`
+	Size    uint32 `json:"size"`
+
+	// Stage timestamps, emulation-clock ns.
+	Stamp   int64 `json:"stamp"`   // client's parallel send stamp
+	Ingest  int64 `json:"ingest"`  // server received the packet
+	Resolve int64 `json:"resolve"` // dispatch view resolved, targets selected
+	Enqueue int64 `json:"enqueue"` // handed to the addressee's send queue
+	Send    int64 `json:"send"`    // writer put it on the wire
+}
+
+// Complete reports whether every stage was recorded.
+func (r *TraceRecord) Complete() bool {
+	return r.Stamp != 0 && r.Ingest != 0 && r.Resolve != 0 && r.Enqueue != 0 && r.Send != 0
+}
+
+// staleAfter is how old (wall clock) a claimed slot must be before an
+// allocation may steal it. Pipeline residence is bounded by the stamp
+// clamp plus queueing — far under this.
+const staleAfter = 10 * time.Second
+
+// slotProbes bounds how many slots one Begin scans. Small, so a
+// saturated tracer costs the hot path a handful of loads, not a sweep.
+const slotProbes = 4
+
+// traceSlot is one in-flight trace.
+type traceSlot struct {
+	busy atomic.Uint32 // 0 free, 1 claimed
+	born atomic.Int64  // wall ns at claim, for stale reclamation
+	rec  TraceRecord
+}
+
+// Default tracer dimensions.
+const (
+	DefaultTraceSlots = 256
+	DefaultTraceRing  = 1024
+)
+
+// Tracer records sampled packet lifecycles. All methods are safe for
+// concurrent use; Begin/Rec/Commit/Release are allocation-free.
+type Tracer struct {
+	slots  []traceSlot
+	cursor atomic.Uint32 // round-robin claim start
+
+	dropped atomic.Uint64 // sampled but not committed (no slot / released)
+
+	mu    sync.Mutex
+	ring  []TraceRecord
+	next  int    // ring write position
+	n     int    // live records (≤ len(ring))
+	total uint64 // committed records ever
+}
+
+// NewTracer returns a tracer with the given number of in-flight slots
+// and ring capacity (≤ 0 selects the defaults).
+func NewTracer(slots, ringSize int) *Tracer {
+	if slots <= 0 {
+		slots = DefaultTraceSlots
+	}
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRing
+	}
+	return &Tracer{
+		slots: make([]traceSlot, slots),
+		ring:  make([]TraceRecord, ringSize),
+	}
+}
+
+// Begin claims a slot for a sampled packet and seeds it with rec (the
+// identity fields plus the stamp/ingest stages, known at ingest).
+// Returns the slot handle, or 0 when no slot is free — the packet just
+// goes untraced. Never blocks, never allocates.
+func (t *Tracer) Begin(rec TraceRecord) uint32 {
+	now := time.Now().UnixNano()
+	n := uint32(len(t.slots))
+	start := t.cursor.Add(1)
+	for i := uint32(0); i < slotProbes; i++ {
+		s := &t.slots[(start+i)%n]
+		if !s.busy.CompareAndSwap(0, 1) {
+			// Claimed: steal only if the owner is long gone. Freeing a
+			// stale slot lets the *next* Begin claim it — stealing and
+			// claiming in one step would race two stealers into the
+			// same slot.
+			if born := s.born.Load(); now-born > int64(staleAfter) {
+				if s.busy.CompareAndSwap(1, 0) {
+					t.dropped.Add(1)
+				}
+			}
+			continue
+		}
+		s.born.Store(now)
+		s.rec = rec
+		return uint32((start+i)%n) + 1
+	}
+	t.dropped.Add(1)
+	return 0
+}
+
+// Rec returns the in-flight record for a handle, for later stages to
+// fill in. Only the pipeline that owns the handle may write; the
+// pipeline's own happens-before edges (scanner heap mutex, send-queue
+// mutex) order the writes.
+func (t *Tracer) Rec(handle uint32) *TraceRecord {
+	return &t.slots[handle-1].rec
+}
+
+// Commit finishes a trace: the record is copied into the ring and the
+// slot freed. Cold path — runs once per sampled-and-delivered packet.
+func (t *Tracer) Commit(handle uint32) {
+	s := &t.slots[handle-1]
+	rec := s.rec
+	t.mu.Lock()
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+	s.busy.Store(0)
+}
+
+// Release abandons a trace whose packet left the pipeline early (link
+// model drop, no route, queue eviction, departed session).
+func (t *Tracer) Release(handle uint32) {
+	t.slots[handle-1].busy.Store(0)
+	t.dropped.Add(1)
+}
+
+// Records returns the ring's contents, oldest first.
+func (t *Tracer) Records() []TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, 0, t.n)
+	start := t.next - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Totals reports how many traces ever committed and how many sampled
+// packets were begun-but-dropped (or found no free slot).
+func (t *Tracer) Totals() (committed, dropped uint64) {
+	t.mu.Lock()
+	committed = t.total
+	t.mu.Unlock()
+	return committed, t.dropped.Load()
+}
+
+// Instrument registers the tracer's own counters on reg.
+func (t *Tracer) Instrument(reg *Registry) {
+	reg.CounterFunc("poem_trace_records_total",
+		"completed five-stage packet lifecycle traces",
+		func() uint64 { c, _ := t.Totals(); return c })
+	reg.CounterFunc("poem_trace_dropped_total",
+		"sampled packets whose trace was abandoned mid-pipeline or found no free slot",
+		func() uint64 { _, d := t.Totals(); return d })
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(2, 4)
+	h := tr.Begin(TraceRecord{Src: 1, Dst: 2, Seq: 42, Stamp: 100, Ingest: 110})
+	if h == 0 {
+		t.Fatal("Begin returned 0 with free slots")
+	}
+	rec := tr.Rec(h)
+	rec.Resolve, rec.Enqueue, rec.Send = 120, 130, 140
+	rec.Relay = 2
+	tr.Commit(h)
+	recs := tr.Records()
+	if len(recs) != 1 || !recs[0].Complete() || recs[0].Seq != 42 || recs[0].Relay != 2 {
+		t.Fatalf("records = %+v", recs)
+	}
+	if c, d := tr.Totals(); c != 1 || d != 0 {
+		t.Errorf("totals = %d, %d", c, d)
+	}
+
+	// Release abandons the trace without committing.
+	h = tr.Begin(TraceRecord{Seq: 43})
+	tr.Release(h)
+	if c, d := tr.Totals(); c != 1 || d != 1 {
+		t.Errorf("totals after release = %d, %d", c, d)
+	}
+	if len(tr.Records()) != 1 {
+		t.Error("released trace reached the ring")
+	}
+}
+
+func TestTracerSlotExhaustion(t *testing.T) {
+	tr := NewTracer(2, 4)
+	h1 := tr.Begin(TraceRecord{Seq: 1})
+	h2 := tr.Begin(TraceRecord{Seq: 2})
+	if h1 == 0 || h2 == 0 || h1 == h2 {
+		t.Fatalf("handles = %d, %d", h1, h2)
+	}
+	if h := tr.Begin(TraceRecord{Seq: 3}); h != 0 {
+		t.Errorf("Begin with all slots busy = %d, want 0", h)
+	}
+	if _, d := tr.Totals(); d != 1 {
+		t.Errorf("dropped = %d, want 1", d)
+	}
+	tr.Release(h1)
+	if h := tr.Begin(TraceRecord{Seq: 4}); h == 0 {
+		t.Error("Begin after Release still 0")
+	}
+}
+
+func TestTracerStaleSteal(t *testing.T) {
+	tr := NewTracer(1, 4)
+	h := tr.Begin(TraceRecord{Seq: 1})
+	if h == 0 {
+		t.Fatal("no slot")
+	}
+	// Age the claim beyond the steal horizon; the abandoned slot must be
+	// reclaimable (one Begin frees it, the same or the next claims it).
+	tr.slots[h-1].born.Store(time.Now().Add(-2 * staleAfter).UnixNano())
+	h2 := tr.Begin(TraceRecord{Seq: 2})
+	if h2 == 0 {
+		h2 = tr.Begin(TraceRecord{Seq: 2})
+	}
+	if h2 == 0 {
+		t.Fatal("slot not reclaimed after stale steal")
+	}
+	if _, d := tr.Totals(); d == 0 {
+		t.Error("stale steal not counted as dropped")
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4, 3)
+	for seq := uint32(1); seq <= 5; seq++ {
+		h := tr.Begin(TraceRecord{Seq: seq})
+		tr.Commit(h)
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	for i, want := range []uint32{3, 4, 5} {
+		if recs[i].Seq != want {
+			t.Errorf("recs[%d].Seq = %d, want %d (oldest first)", i, recs[i].Seq, want)
+		}
+	}
+	if c, _ := tr.Totals(); c != 5 {
+		t.Errorf("committed = %d, want 5", c)
+	}
+}
+
+func TestTracerZeroAlloc(t *testing.T) {
+	tr := NewTracer(8, 8)
+	rec := TraceRecord{Src: 1, Stamp: 10, Ingest: 11}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h := tr.Begin(rec)
+		r := tr.Rec(h)
+		r.Resolve, r.Enqueue, r.Send = 12, 13, 14
+		tr.Commit(h)
+	}); allocs != 0 {
+		t.Errorf("trace lifecycle allocates %v per packet, want 0", allocs)
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(2, 2)
+	tr.Instrument(reg)
+	h := tr.Begin(TraceRecord{})
+	tr.Commit(h)
+	names := reg.Names()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -18,7 +18,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/vclock"
 )
@@ -94,6 +96,12 @@ type Store struct {
 	sinks   []*LogWriter // attached streaming logs (see wal.go)
 
 	shards [packetShards]packetShard
+
+	// Live counters, readable without draining the shards (a /metrics
+	// scrape must not force batch commits or take the store lock).
+	nPackets atomic.Uint64
+	nScenes  atomic.Uint64
+	nCommits atomic.Uint64 // shard batch commits into the main slice
 }
 
 // packetShards spreads concurrent recorders; a power of two so the
@@ -130,6 +138,7 @@ func shardOf(p *Packet) int {
 // AddPacket appends a packet record. It takes only a shard lock; the
 // store lock is touched once per packetFlushBatch records.
 func (s *Store) AddPacket(p Packet) {
+	s.nPackets.Add(1)
 	sh := &s.shards[shardOf(&p)]
 	sh.mu.Lock()
 	sh.buf = append(sh.buf, p)
@@ -151,6 +160,7 @@ func (s *Store) flushShard(sh *packetShard) {
 	sh.spare = nil
 	sh.mu.Unlock()
 	if len(batch) > 0 {
+		s.nCommits.Add(1)
 		s.mu.Lock()
 		s.packets = append(s.packets, batch...)
 		for _, lw := range s.sinks {
@@ -192,6 +202,7 @@ func (s *Store) Sync() error {
 
 // AddScene appends a scene record.
 func (s *Store) AddScene(e Scene) {
+	s.nScenes.Add(1)
 	s.mu.Lock()
 	s.scenes = append(s.scenes, e)
 	sinks := s.sinks
@@ -199,6 +210,18 @@ func (s *Store) AddScene(e Scene) {
 	for _, lw := range sinks {
 		lw.Scene(e)
 	}
+}
+
+// Instrument registers the store's recording counters on reg. The
+// callbacks read live atomics — no shard drain, no store lock — so a
+// scrape never perturbs the recording hot path.
+func (s *Store) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("poem_record_packets_total",
+		"packet records appended (in/out/drop)", s.nPackets.Load)
+	reg.CounterFunc("poem_record_scenes_total",
+		"scene-change records appended", s.nScenes.Load)
+	reg.CounterFunc("poem_record_batch_commits_total",
+		"shard batches committed to the main slice", s.nCommits.Load)
 }
 
 // PacketCount returns the number of packet records.

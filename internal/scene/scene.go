@@ -21,6 +21,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/linkmodel"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/vclock"
 )
@@ -110,6 +111,10 @@ type Scene struct {
 	dirty    map[radio.ChannelID]struct{}
 	rebuilds map[radio.ChannelID]uint64
 	allDirty bool
+
+	// tickHist, when instrumented, records the wall cost of each
+	// mobility tick (walker advance + view republish).
+	tickHist *obs.Histogram
 }
 
 // New creates a scene over the given neighbor table (usually
@@ -130,6 +135,29 @@ func New(tab radio.NeighborTable, clk vclock.Clock, seed int64) *Scene {
 	}
 	s.views.Store(&viewSet{defModel: s.defModel})
 	return s
+}
+
+// Instrument registers the scene's metrics on reg: the node-count
+// gauge, the aggregate dispatch-view rebuild counter (per-channel
+// counts stay queryable through ViewRebuilds / ViewRebuildCounts), and
+// the mobility-tick cost histogram.
+func (s *Scene) Instrument(reg *obs.Registry) {
+	reg.Gauge("poem_scene_nodes", "VMNs in the emulated scene", func() float64 {
+		return float64(s.Len())
+	})
+	reg.CounterFunc("poem_scene_view_rebuilds_total",
+		"dispatch-view rebuilds across all channels", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var n uint64
+			for _, c := range s.rebuilds {
+				n += c
+			}
+			return n
+		})
+	s.mu.Lock()
+	s.tickHist = reg.Histogram("poem_scene_tick_ns", "wall cost of one mobility tick")
+	s.mu.Unlock()
 }
 
 // Subscribe registers a listener for all subsequent events.
@@ -329,6 +357,10 @@ func (s *Scene) Tick(now vclock.Time) {
 	defer s.mu.Unlock()
 	if s.paused {
 		return
+	}
+	if s.tickHist != nil {
+		start := time.Now()
+		defer func() { s.tickHist.Observe(time.Since(start)) }()
 	}
 	// Deterministic iteration order keeps runs reproducible. The sorted
 	// slice is cached; attaching or detaching a walker invalidates it.

@@ -90,6 +90,18 @@ func (s *Scene) ViewRebuilds(ch radio.ChannelID) uint64 {
 	return s.rebuilds[ch]
 }
 
+// ViewRebuildCounts returns every channel's rebuild count, for the
+// control protocol's per-channel stats lines. The map is a copy.
+func (s *Scene) ViewRebuildCounts() map[radio.ChannelID]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[radio.ChannelID]uint64, len(s.rebuilds))
+	for ch, n := range s.rebuilds {
+		out[ch] = n
+	}
+	return out
+}
+
 // markChannelDirtyLocked queues ch for a view rebuild at the next
 // publishLocked.
 func (s *Scene) markChannelDirtyLocked(ch radio.ChannelID) {

@@ -2,7 +2,10 @@ package vclock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RateSynced extends the Figure 5 scheme with drift compensation. The
@@ -17,7 +20,8 @@ import (
 // estimate error is O(ε/T); two well-separated samples already beat a
 // pure offset under drift ≥ ε/T per unit time.
 type RateSynced struct {
-	local Clock
+	local   Clock
+	resyncs atomic.Uint64 // successful Resync exchanges
 
 	mu      sync.Mutex
 	samples []ratePair
@@ -140,7 +144,20 @@ func (c *RateSynced) Resync(ex Exchanger, rounds int) (Sample, error) {
 		return Sample{}, err
 	}
 	c.AddSample(sample)
+	c.resyncs.Add(1)
 	return sample, nil
+}
+
+// Instrument registers the drift-fit metrics on reg: the estimated
+// local-to-server rate, the fit's sample count, and the successful-
+// resync counter (shared name with Synced.Instrument — a process runs
+// one client clock flavor).
+func (c *RateSynced) Instrument(reg *obs.Registry) {
+	reg.Gauge("poem_clock_rate", "estimated local-to-server clock rate (1 = no drift)", c.Rate)
+	reg.Gauge("poem_clock_fit_samples", "samples in the current drift fit",
+		func() float64 { return float64(c.SampleCount()) })
+	reg.CounterFunc("poem_clock_resyncs_total", "successful Figure 5 resynchronizations",
+		c.resyncs.Load)
 }
 
 // holdFor estimates how long the clock can free-run before its error

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file implements the lightweight emulation-clock synchronization
@@ -105,8 +107,9 @@ func Synchronize(local Clock, ex Exchanger, rounds int) (time.Duration, Sample, 
 // background resynchronization goroutine, so it is stored atomically.
 // The zero offset means "trust the local clock".
 type Synced struct {
-	local  Clock
-	offset atomic.Int64 // time.Duration
+	local   Clock
+	offset  atomic.Int64  // time.Duration
+	resyncs atomic.Uint64 // successful Resync exchanges
 }
 
 // NewSynced returns a Synced clock over the given local clock.
@@ -131,5 +134,20 @@ func (c *Synced) Resync(ex Exchanger, rounds int) (Sample, error) {
 		return Sample{}, err
 	}
 	c.SetOffset(off)
+	c.resyncs.Add(1)
 	return sample, nil
+}
+
+// Resyncs returns how many Resync calls have succeeded.
+func (c *Synced) Resyncs() uint64 { return c.resyncs.Load() }
+
+// Instrument registers the clock's sync metrics on reg: the installed
+// offset and the successful-resync count (§4.1 leaves the resync
+// frequency to the user; these expose whether the chosen cadence holds
+// the offset steady).
+func (c *Synced) Instrument(reg *obs.Registry) {
+	reg.Gauge("poem_clock_offset_ns", "installed client-to-server clock offset",
+		func() float64 { return float64(c.offset.Load()) })
+	reg.CounterFunc("poem_clock_resyncs_total", "successful Figure 5 resynchronizations",
+		c.resyncs.Load)
 }

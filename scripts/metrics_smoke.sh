@@ -1,0 +1,64 @@
+#!/bin/sh
+# metrics_smoke.sh — end-to-end smoke test of the poemd debug endpoint.
+#
+# Starts poemd with -debug, waits for /healthz, scrapes /metrics, and
+# fails if any registered metric family is missing or any value renders
+# as NaN; also checks /trace answers valid JSON. Run from the repo root:
+#
+#	./scripts/metrics_smoke.sh
+set -eu
+
+LISTEN=127.0.0.1:17000
+CONTROL=127.0.0.1:17001
+DEBUG=127.0.0.1:17002
+BIN=$(mktemp -d)/poemd
+
+go build -o "$BIN" ./cmd/poemd
+
+"$BIN" -listen $LISTEN -control $CONTROL -debug $DEBUG &
+PID=$!
+trap 'kill $PID 2>/dev/null; wait $PID 2>/dev/null || true' EXIT
+
+ok=0
+for _ in $(seq 1 100); do
+	if curl -fsS "http://$DEBUG/healthz" >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ "$ok" = 1 ] || { echo "poemd debug endpoint never came up"; exit 1; }
+
+metrics=$(curl -fsS "http://$DEBUG/metrics")
+
+fail=0
+for name in \
+	poem_received_total poem_forwarded_total poem_dropped_total \
+	poem_noroute_total poem_queue_drops_total poem_stamp_clamped_total \
+	poem_clients poem_scheduled poem_clock_seconds \
+	poem_ingest_ns poem_dispatch_ns poem_enqueue_ns poem_send_ns \
+	poem_deliver_lag_ns \
+	poem_scene_nodes poem_scene_view_rebuilds_total poem_scene_tick_ns \
+	poem_record_packets_total poem_record_scenes_total \
+	poem_record_batch_commits_total \
+	poem_trace_records_total poem_trace_dropped_total; do
+	if ! printf '%s\n' "$metrics" | grep -q "^$name"; then
+		echo "missing metric: $name"
+		fail=1
+	fi
+done
+
+if printf '%s\n' "$metrics" | grep -q 'NaN'; then
+	echo "NaN value in /metrics:"
+	printf '%s\n' "$metrics" | grep 'NaN'
+	fail=1
+fi
+
+trace=$(curl -fsS "http://$DEBUG/trace")
+case "$trace" in
+[\[]*) ;;
+*) echo "/trace did not answer a JSON array: $trace"; fail=1 ;;
+esac
+
+[ "$fail" = 0 ] || exit 1
+echo "metrics smoke OK ($(printf '%s\n' "$metrics" | grep -c '^poem_') poem_* sample lines)"
