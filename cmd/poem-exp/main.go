@@ -15,6 +15,7 @@
 //	poem-exp protocols
 //	poem-exp capacity
 //	poem-exp scalability
+//	poem-exp chaos [-seed 1] [-runs 20] [-events 60]
 //	poem-exp all
 package main
 
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/baseline/mobiemu"
+	"repro/internal/chaos"
 	"repro/internal/experiment"
 )
 
@@ -35,6 +37,8 @@ func main() {
 		duration = fs.Duration("duration", 0, "emulated duration (0 = default)")
 		rate     = fs.Float64("rate", 0, "CBR bits/s for figure10 (0 = 4 Mb/s)")
 		seed     = fs.Int64("seed", 1, "random seed")
+		runs     = fs.Int("runs", 20, "chaos: scenarios to run on consecutive seeds")
+		events   = fs.Int("events", 0, "chaos: events per scenario (0 = default)")
 	)
 	if len(os.Args) < 2 {
 		usage()
@@ -82,6 +86,23 @@ func main() {
 		case "scalability":
 			_, err := experiment.Scalability(out, experiment.ScalabilityConfig{})
 			return err
+		case "chaos":
+			failures := chaos.Sweep(*seed, *runs, *events, func(rep chaos.Report) {
+				status := "ok"
+				if !rep.OK() {
+					status = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
+				}
+				fmt.Fprintf(out, "seed %-6d %s  deliveries=%-5d digest=%s\n",
+					rep.Seed, status, rep.Deliveries, rep.Digest[:16])
+			})
+			for _, rep := range failures {
+				fmt.Fprintln(out)
+				fmt.Fprint(out, rep.Failure())
+			}
+			if len(failures) > 0 {
+				return fmt.Errorf("%d of %d chaos runs violated invariants", len(failures), *runs)
+			}
+			fmt.Fprintf(out, "all %d chaos runs held every invariant\n", *runs)
 		default:
 			usage()
 			os.Exit(2)
@@ -107,5 +128,5 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: poem-exp <experiment> [flags]
-experiments: table1 table2 figure10 serialerror staleness clocksync neightable linkcurves protocols capacity scalability all`)
+experiments: table1 table2 figure10 serialerror staleness clocksync neightable linkcurves protocols capacity scalability chaos all`)
 }

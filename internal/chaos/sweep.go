@@ -1,0 +1,20 @@
+package chaos
+
+// Sweep runs n scenarios on consecutive seeds starting at base and
+// returns the failing reports. onRun, when non-nil, observes every
+// report as it completes — the test logs progress through it and the
+// poem-exp chaos verb prints per-seed lines. Shared by both so the CI
+// sweep and the command line exercise the identical harness.
+func Sweep(base int64, n, events int, onRun func(Report)) []Report {
+	var failures []Report
+	for i := 0; i < n; i++ {
+		rep := Run(Config{Seed: base + int64(i), Events: events})
+		if onRun != nil {
+			onRun(rep)
+		}
+		if !rep.OK() {
+			failures = append(failures, rep)
+		}
+	}
+	return failures
+}

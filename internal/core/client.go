@@ -67,6 +67,12 @@ type Client struct {
 	cfg  ClientConfig
 	conn transport.Conn
 	clk  syncedClock
+	// stamp is the packet-stamp clock: the synced clock behind a
+	// monotonic floor. A resync that refines the offset downward makes
+	// the raw synced clock step backwards; stamping through the floor
+	// keeps each client's parallel timestamps non-decreasing across
+	// resyncs (the chaos harness pins this as an invariant).
+	stamp *vclock.Monotonic
 
 	mu      sync.Mutex
 	radios  []radio.Radio
@@ -142,6 +148,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		cfg:        cfg,
 		conn:       conn,
 		clk:        clk,
+		stamp:      vclock.NewMonotonic(clk),
 		syncers:    make(map[vclock.Time]chan *wire.SyncReply),
 		stopResync: make(chan struct{}),
 	}
@@ -164,8 +171,9 @@ func Dial(cfg ClientConfig) (*Client, error) {
 func (c *Client) ID() radio.NodeID { return c.cfg.ID }
 
 // Now returns the synchronized emulation time — the stamp source for
-// parallel time-stamping.
-func (c *Client) Now() vclock.Time { return c.clk.Now() }
+// parallel time-stamping. Readings never decrease, even when a resync
+// steps the underlying offset backwards.
+func (c *Client) Now() vclock.Time { return c.stamp.Now() }
 
 // Offset returns the current clock correction: the difference between
 // the synchronized emulation clock and the raw local clock.
@@ -198,7 +206,7 @@ func (c *Client) Send(pkt wire.Packet) error {
 	}
 	c.mu.Unlock()
 	pkt.Src = c.cfg.ID
-	pkt.Stamp = c.clk.Now()
+	pkt.Stamp = c.stamp.Now()
 	return c.conn.Send(&wire.Data{Pkt: pkt})
 }
 

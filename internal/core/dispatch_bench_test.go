@@ -63,7 +63,7 @@ func benchSession(id radio.NodeID, srv *Server) *session {
 	return &session{
 		id:   id,
 		rng:  rand.New(rand.NewSource(int64(id) + 1)),
-		q:    newSendQueue(0, srv.mQueueDrops, srv.tracer),
+		q:    newSendQueue(0, srv.mQueueDrops, srv.mAbandoned, srv.tracer),
 		stop: make(chan struct{}),
 	}
 }

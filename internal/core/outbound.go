@@ -47,16 +47,25 @@ type sendQueue struct {
 	closed bool
 	wake   chan struct{} // 1-buffered writer wakeup
 
-	drops      atomic.Uint64 // entries discarded by the slow-client policy
-	totalDrops *obs.Counter  // server-wide aggregate, shared by all sessions
-	tracer     *obs.Tracer   // releases trace slots of evicted entries
+	// inflight counts entries the writer has popped but not finished
+	// processing (forwarded-or-abandoned, counters included). depth
+	// includes it, so "every session's depth()==0" means every accepted
+	// delivery has been fully accounted — the drain condition the chaos
+	// harness's conservation check quiesces on.
+	inflight int
+
+	drops          atomic.Uint64 // entries discarded by the slow-client policy
+	totalDrops     *obs.Counter  // server-wide aggregate, shared by all sessions
+	totalAbandoned *obs.Counter  // data entries that died with the session
+	tracer         *obs.Tracer   // releases trace slots of evicted entries
 }
 
-func newSendQueue(limit int, totalDrops *obs.Counter, tracer *obs.Tracer) *sendQueue {
+func newSendQueue(limit int, totalDrops, totalAbandoned *obs.Counter, tracer *obs.Tracer) *sendQueue {
 	if limit <= 0 {
 		limit = DefaultSendQueueDepth
 	}
-	return &sendQueue{limit: limit, wake: make(chan struct{}, 1), totalDrops: totalDrops, tracer: tracer}
+	return &sendQueue{limit: limit, wake: make(chan struct{}, 1),
+		totalDrops: totalDrops, totalAbandoned: totalAbandoned, tracer: tracer}
 }
 
 // countDrop charges one policy discard to the session and the server.
@@ -74,6 +83,16 @@ func (q *sendQueue) releaseTrace(m *outMsg) {
 	}
 }
 
+// countAbandoned charges one data delivery that died with its session
+// (closed-queue push, entries pending at close, or a failed final
+// send). Packet conservation needs every accepted delivery to end in
+// exactly one of forwarded / queue-dropped / abandoned.
+func (q *sendQueue) countAbandoned() {
+	if q.totalAbandoned != nil {
+		q.totalAbandoned.Inc()
+	}
+}
+
 // push enqueues m, evicting the oldest data entry when full. It never
 // blocks; the return value reports whether m itself was accepted (false
 // only when the queue is closed or m is data and the queue holds
@@ -81,6 +100,13 @@ func (q *sendQueue) releaseTrace(m *outMsg) {
 func (q *sendQueue) push(m outMsg) bool {
 	q.mu.Lock()
 	if q.closed {
+		// The session is over; the delivery dies here. Its trace slot
+		// must still be released and — for data — the loss accounted, or
+		// the conservation ledger would leak one packet per kill race.
+		q.releaseTrace(&m)
+		if m.kind == outData {
+			q.countAbandoned()
+		}
 		q.mu.Unlock()
 		return false
 	}
@@ -171,6 +197,7 @@ func (q *sendQueue) pop(stop <-chan struct{}) (m outMsg, ok bool) {
 			q.buf[q.head] = outMsg{}
 			q.head = (q.head + 1) % len(q.buf)
 			q.n--
+			q.inflight++ // cleared by done() once the entry is accounted
 			q.mu.Unlock()
 			return m, true
 		}
@@ -183,10 +210,33 @@ func (q *sendQueue) pop(stop <-chan struct{}) (m outMsg, ok bool) {
 	}
 }
 
-// close marks the queue dead and wakes the writer so it exits.
+// done marks one popped entry fully processed (its counters updated).
+func (q *sendQueue) done() {
+	q.mu.Lock()
+	q.inflight--
+	q.mu.Unlock()
+}
+
+// close marks the queue dead, abandons whatever is still buffered and
+// wakes the writer so it exits. Idempotent: shutdown may run from both
+// the session handler and server Close, and the abandonment accounting
+// must happen exactly once.
 func (q *sendQueue) close() {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.closed = true
+	for i := 0; i < q.n; i++ {
+		m := &q.buf[(q.head+i)%len(q.buf)]
+		q.releaseTrace(m)
+		if m.kind == outData {
+			q.countAbandoned()
+		}
+		*m = outMsg{}
+	}
+	q.head, q.n = 0, 0
 	q.mu.Unlock()
 	select {
 	case q.wake <- struct{}{}:
@@ -194,11 +244,12 @@ func (q *sendQueue) close() {
 	}
 }
 
-// depth is the current number of queued entries.
+// depth is the number of queued entries plus any popped entry the
+// writer has not finished accounting yet.
 func (q *sendQueue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.n
+	return q.n + q.inflight
 }
 
 // full reports whether the next push would evict.

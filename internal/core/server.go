@@ -172,6 +172,16 @@ type Server struct {
 	mNoRoute      *obs.Counter
 	mQueueDrops   *obs.Counter // includes drops from departed sessions
 	mStampClamped *obs.Counter
+	mEntered      *obs.Counter // per-target deliveries listed into the schedule
+	mAbandoned    *obs.Counter // scheduled deliveries that died with their session
+
+	// deliverHook, when set, observes every schedule departure on the
+	// scanner goroutine, in fire order, before the delivery is routed to
+	// its session. The chaos harness uses it as the FIFO-order oracle:
+	// a client's received sequence must be a subsequence of the hook's
+	// sequence projected onto that destination. Test-only surface; the
+	// hook must not block.
+	deliverHook atomic.Pointer[func(sched.Item)]
 
 	hIngest     *obs.Histogram // wall ns: ingest entry → scheduled
 	hResolve    *obs.Histogram // wall ns: ingest entry → dispatch+filter done
@@ -193,8 +203,16 @@ type ServerStats struct {
 	// StampClamped counts packets whose client timestamp ran further
 	// than MaxStampSkew ahead of the server clock and was clamped.
 	StampClamped uint64
-	Clients      int // connected sessions
-	Scheduled    int // schedule depth right now
+	// Entered counts per-target deliveries listed into the forwarding
+	// schedule (a broadcast reaching k survivors enters k times), and
+	// Abandoned counts scheduled deliveries that died because their
+	// session closed before the send completed. Together with Forwarded
+	// and QueueDrops they close the conservation ledger:
+	//   Entered == Forwarded + QueueDrops + Abandoned + still-queued.
+	Entered   uint64
+	Abandoned uint64
+	Clients   int // connected sessions
+	Scheduled int // schedule depth right now
 }
 
 // session is one connected emulation client. All traffic toward the
@@ -314,6 +332,8 @@ func (s *Server) instrument(cfg ServerConfig) {
 	s.mNoRoute = reg.Counter("poem_noroute_total", "packets with no reachable destination")
 	s.mQueueDrops = reg.Counter("poem_queue_drops_total", "deliveries discarded by the slow-client drop-oldest policy")
 	s.mStampClamped = reg.Counter("poem_stamp_clamped_total", "client timestamps clamped by the MaxStampSkew horizon")
+	s.mEntered = reg.Counter("poem_schedule_entries_total", "per-target deliveries listed into the forwarding schedule")
+	s.mAbandoned = reg.Counter("poem_abandoned_total", "scheduled deliveries that died with their session before sending")
 
 	s.hIngest = reg.Histogram("poem_ingest_ns", "wall time from ingest entry to the packet being scheduled (sampled)")
 	s.hResolve = reg.Histogram("poem_dispatch_ns", "wall time from ingest entry to dispatch view resolved and targets filtered (sampled)")
@@ -434,8 +454,54 @@ func (s *Server) Stats() ServerStats {
 		NoRoute:      s.mNoRoute.Load(),
 		QueueDrops:   s.mQueueDrops.Load(),
 		StampClamped: s.mStampClamped.Load(),
+		Entered:      s.mEntered.Load(),
+		Abandoned:    s.mAbandoned.Load(),
 		Clients:      clients,
 		Scheduled:    s.scanner.Pending(),
+	}
+}
+
+// SetDeliverHook installs (or, with nil, removes) a callback observing
+// every schedule departure in fire order, on the scanner goroutine.
+// Test-only: the chaos harness derives its per-destination FIFO oracle
+// from it. The hook must return quickly — it runs inside the scanner's
+// dispatch, ahead of every queued delivery.
+func (s *Server) SetDeliverHook(fn func(sched.Item)) {
+	if fn == nil {
+		s.deliverHook.Store(nil)
+		return
+	}
+	s.deliverHook.Store(&fn)
+}
+
+// Quiesce blocks until the forwarding pipeline has drained — no items
+// in the schedule (including one mid-dispatch) and no entries in any
+// session's send queue (including one mid-send) — and reports whether
+// that state was reached within timeout. It does not pause ingest:
+// callers quiesce after their traffic sources have stopped. The chaos
+// harness checks invariants only at quiesced points, where the
+// conservation ledger must balance exactly.
+func (s *Server) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		drained := s.scanner.Pending() == 0
+		if drained {
+			s.mu.Lock()
+			for _, sess := range s.sessions {
+				if sess.q.depth() != 0 {
+					drained = false
+					break
+				}
+			}
+			s.mu.Unlock()
+		}
+		if drained {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 
@@ -540,7 +606,7 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 		id:   id,
 		conn: conn,
 		rng:  rand.New(rand.NewSource(s.cfg.Seed ^ int64(id)<<17 ^ 0x9e3779b9)),
-		q:    newSendQueue(s.cfg.SendQueueDepth, s.mQueueDrops, s.tracer),
+		q:    newSendQueue(s.cfg.SendQueueDepth, s.mQueueDrops, s.mAbandoned, s.tracer),
 		stop: make(chan struct{}),
 	}
 	s.mu.Lock()
@@ -592,6 +658,15 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 
 // ingest is §3.2 steps 1–4 for one received packet.
 func (s *Server) ingest(sess *session, pkt wire.Packet) {
+	// The received counters commit last, once every schedule entry and
+	// record row for this packet exists: "Received == packets the wire
+	// delivered" then implies no ingest is still mid-flight, which is
+	// what lets a drained pipeline be checked with exact equalities
+	// instead of retry heuristics (see Quiesce and internal/chaos).
+	defer func() {
+		s.mReceived.Inc()
+		sess.received.Add(1)
+	}()
 	// Sampling gate: one atomic load; the countdown itself is confined
 	// to this session's reader goroutine. Sampled packets pay the
 	// time.Now reads, histogram adds and a tracer slot; everything else
@@ -638,8 +713,6 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 			s.mStampClamped.Inc()
 		}
 	}
-	s.mReceived.Inc()
-	sess.received.Add(1)
 	if s.cfg.Store != nil {
 		s.cfg.Store.AddPacket(record.Packet{
 			Kind: record.PacketIn, At: now, Stamp: pkt.Stamp,
@@ -748,6 +821,7 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 			if i == 0 {
 				it.Trace = th // one target completes the record
 			}
+			s.mEntered.Inc()
 			s.scanner.Push(it)
 		}
 		if sampled {
@@ -768,6 +842,7 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		if i == 0 {
 			it.Trace = th
 		}
+		s.mEntered.Inc()
 		s.scanner.Push(it)
 	}
 	if sampled {
@@ -799,12 +874,16 @@ func (s *Server) finishIngest(sampled bool, obsStart time.Time, th uint32) {
 // order (the old goroutine-per-packet send raced on the connection
 // lock and could reorder them).
 func (s *Server) deliver(it sched.Item) {
+	if h := s.deliverHook.Load(); h != nil {
+		(*h)(it)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		if it.Trace != 0 {
 			s.tracer.Release(it.Trace)
 		}
+		s.mAbandoned.Inc()
 		return
 	}
 	sess := s.sessions[it.To]
@@ -813,6 +892,7 @@ func (s *Server) deliver(it sched.Item) {
 		if it.Trace != 0 {
 			s.tracer.Release(it.Trace)
 		}
+		s.mAbandoned.Inc()
 		return // the client left between scheduling and departure
 	}
 	if sess.q.full() {
@@ -849,42 +929,58 @@ func (s *Server) sessionWriter(sess *session) {
 	for {
 		m, ok := sess.q.pop(sess.stop)
 		if !ok {
-			return // session over; anything still queued is abandoned
+			return // session over; the queue accounted anything left
 		}
-		switch m.kind {
-		case outRadios:
-			if err := sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: m.radios}); err != nil {
-				return
-			}
-		case outData:
-			var t0 time.Time
-			if m.trace != 0 {
-				t0 = time.Now()
-			}
-			if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
-				if m.trace != 0 {
-					s.tracer.Release(m.trace)
-				}
-				return
-			}
-			if m.trace != 0 {
-				// Final stage: the packet is on the wire. Stamp it, name
-				// the concrete receiver, and commit the record.
-				s.hSend.Observe(time.Since(t0))
-				rec := s.tracer.Rec(m.trace)
-				rec.Send = int64(s.cfg.Clock.Now())
-				rec.Relay = uint32(sess.id)
-				s.tracer.Commit(m.trace)
-			}
-			s.mForwarded.Inc()
-			sess.forwarded.Add(1)
-			if s.cfg.Store != nil {
-				s.cfg.Store.AddPacket(record.Packet{
-					Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: m.pkt.Stamp,
-					Src: m.pkt.Src, Dst: m.pkt.Dst, Relay: sess.id, Channel: m.pkt.Channel,
-					Flow: m.pkt.Flow, Seq: m.pkt.Seq, Size: uint32(m.pkt.Size()),
-				})
-			}
+		// A popped entry is "in flight" until its counters are settled —
+		// forwarded on success, abandoned on a failed data send — so a
+		// drain check never observes the gap between pop and accounting.
+		err := s.writeOut(sess, m)
+		sess.q.done()
+		if err != nil {
+			return
 		}
 	}
+}
+
+// writeOut ships one queue entry to the session's client and settles
+// its accounting. A send error abandons the entry (the session is dying
+// — the caller exits the writer).
+func (s *Server) writeOut(sess *session, m outMsg) error {
+	switch m.kind {
+	case outRadios:
+		if err := sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: m.radios}); err != nil {
+			return err
+		}
+	case outData:
+		var t0 time.Time
+		if m.trace != 0 {
+			t0 = time.Now()
+		}
+		if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
+			if m.trace != 0 {
+				s.tracer.Release(m.trace)
+			}
+			s.mAbandoned.Inc()
+			return err
+		}
+		if m.trace != 0 {
+			// Final stage: the packet is on the wire. Stamp it, name
+			// the concrete receiver, and commit the record.
+			s.hSend.Observe(time.Since(t0))
+			rec := s.tracer.Rec(m.trace)
+			rec.Send = int64(s.cfg.Clock.Now())
+			rec.Relay = uint32(sess.id)
+			s.tracer.Commit(m.trace)
+		}
+		s.mForwarded.Inc()
+		sess.forwarded.Add(1)
+		if s.cfg.Store != nil {
+			s.cfg.Store.AddPacket(record.Packet{
+				Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: m.pkt.Stamp,
+				Src: m.pkt.Src, Dst: m.pkt.Dst, Relay: sess.id, Channel: m.pkt.Channel,
+				Flow: m.pkt.Flow, Seq: m.pkt.Seq, Size: uint32(m.pkt.Size()),
+			})
+		}
+	}
+	return nil
 }

@@ -1,0 +1,113 @@
+package record
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/radio"
+)
+
+// DeliveryKey identifies one delivered packet for multiset comparison:
+// who sent it, who concretely received it (Relay — for a broadcast the
+// addressed Dst is radio.Broadcast, so only the relay names the real
+// receiver), and the flow/sequence pair the sender labelled it with.
+// Duplicate deliveries (e.g. a transport-layer duplicate impairment)
+// map to the same key with count 2, which is exactly what a multiset
+// must distinguish from a single delivery.
+type DeliveryKey struct {
+	Src   radio.NodeID
+	Relay radio.NodeID
+	Flow  uint16
+	Seq   uint32
+}
+
+// Multiset counts deliveries by key. The zero value is not ready to
+// use; call NewMultiset or make the map.
+type Multiset map[DeliveryKey]int
+
+// NewMultiset returns an empty delivery multiset.
+func NewMultiset() Multiset { return make(Multiset) }
+
+// Add counts one delivery.
+func (m Multiset) Add(k DeliveryKey) { m[k]++ }
+
+// Total returns the number of deliveries counted (the sum of all
+// multiplicities, not the number of distinct keys).
+func (m Multiset) Total() int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// Equal reports whether both multisets hold the same keys with the
+// same multiplicities.
+func (m Multiset) Equal(other Multiset) bool {
+	if len(m) != len(other) {
+		return false
+	}
+	for k, c := range m {
+		if other[k] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff describes how other differs from m, one line per differing key
+// ("src→relay flow/seq: m=x other=y"), capped at limit lines (0 means
+// no cap). Keys are reported in sorted order so the output of a failed
+// comparison is stable across runs — a chaos-harness failure must look
+// identical when its seed is replayed.
+func (m Multiset) Diff(other Multiset, limit int) []string {
+	keys := make(map[DeliveryKey]struct{}, len(m)+len(other))
+	for k := range m {
+		keys[k] = struct{}{}
+	}
+	for k := range other {
+		keys[k] = struct{}{}
+	}
+	diff := make([]DeliveryKey, 0, len(keys))
+	for k := range keys {
+		if m[k] != other[k] {
+			diff = append(diff, k)
+		}
+	}
+	sort.Slice(diff, func(i, j int) bool {
+		a, b := diff[i], diff[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Relay != b.Relay {
+			return a.Relay < b.Relay
+		}
+		if a.Flow != b.Flow {
+			return a.Flow < b.Flow
+		}
+		return a.Seq < b.Seq
+	})
+	out := make([]string, 0, len(diff))
+	for i, k := range diff {
+		if limit > 0 && i == limit {
+			out = append(out, fmt.Sprintf("… and %d more differing keys", len(diff)-limit))
+			break
+		}
+		out = append(out, fmt.Sprintf("%v→%v flow=%d seq=%d: have %d, want %d",
+			k.Src, k.Relay, k.Flow, k.Seq, m[k], other[k]))
+	}
+	return out
+}
+
+// DeliveredMultiset folds the store's PacketOut records into a delivery
+// multiset — the record-DB side of the chaos harness's "replaying the
+// recording reproduces the delivered packets" invariant.
+func (s *Store) DeliveredMultiset() Multiset {
+	m := NewMultiset()
+	s.ForEachPacket(func(p Packet) {
+		if p.Kind == PacketOut {
+			m.Add(DeliveryKey{Src: p.Src, Relay: p.Relay, Flow: p.Flow, Seq: p.Seq})
+		}
+	})
+	return m
+}

@@ -1,0 +1,76 @@
+package record
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/radio"
+)
+
+func key(src, relay uint32, flow uint16, seq uint32) DeliveryKey {
+	return DeliveryKey{Src: radio.NodeID(src), Relay: radio.NodeID(relay), Flow: flow, Seq: seq}
+}
+
+func TestMultisetEqual(t *testing.T) {
+	a, b := NewMultiset(), NewMultiset()
+	if !a.Equal(b) {
+		t.Fatal("empty multisets differ")
+	}
+	a.Add(key(1, 2, 0, 7))
+	a.Add(key(1, 2, 0, 7)) // duplicate delivery: multiplicity 2
+	a.Add(key(1, 3, 0, 7))
+	b.Add(key(1, 3, 0, 7))
+	b.Add(key(1, 2, 0, 7))
+	if a.Equal(b) {
+		t.Fatal("multiplicity 2 vs 1 compared equal")
+	}
+	b.Add(key(1, 2, 0, 7))
+	if !a.Equal(b) {
+		t.Fatalf("equal multisets differ: %v vs %v", a, b)
+	}
+	if a.Total() != 3 {
+		t.Errorf("Total = %d, want 3", a.Total())
+	}
+}
+
+func TestMultisetDiff(t *testing.T) {
+	a, b := NewMultiset(), NewMultiset()
+	a.Add(key(1, 2, 0, 1))
+	a.Add(key(1, 2, 0, 2))
+	b.Add(key(1, 2, 0, 2))
+	b.Add(key(1, 2, 0, 2))
+	b.Add(key(4, 5, 1, 9))
+	diff := a.Diff(b, 0)
+	if len(diff) != 3 {
+		t.Fatalf("diff lines %v, want 3", diff)
+	}
+	// Sorted by key: (1,2,0,1) then (1,2,0,2) then (4,5,1,9).
+	if !strings.Contains(diff[0], "seq=1") || !strings.Contains(diff[0], "have 1, want 0") {
+		t.Errorf("diff[0] = %q", diff[0])
+	}
+	if !strings.Contains(diff[1], "have 1, want 2") {
+		t.Errorf("diff[1] = %q", diff[1])
+	}
+	capped := a.Diff(b, 1)
+	if len(capped) != 2 || !strings.Contains(capped[1], "2 more") {
+		t.Errorf("capped diff = %v", capped)
+	}
+	if lines := a.Diff(a, 0); len(lines) != 0 {
+		t.Errorf("self-diff = %v", lines)
+	}
+}
+
+func TestStoreDeliveredMultiset(t *testing.T) {
+	s := NewStore()
+	s.AddPacket(Packet{Kind: PacketIn, Src: 1, Dst: 2, Flow: 0, Seq: 1})
+	s.AddPacket(Packet{Kind: PacketOut, Src: 1, Dst: 2, Relay: 2, Flow: 0, Seq: 1})
+	s.AddPacket(Packet{Kind: PacketOut, Src: 1, Dst: 2, Relay: 2, Flow: 0, Seq: 1}) // duplicate
+	s.AddPacket(Packet{Kind: PacketDrop, Src: 1, Dst: 3, Relay: 3, Flow: 0, Seq: 1})
+	m := s.DeliveredMultiset()
+	want := NewMultiset()
+	want.Add(key(1, 2, 0, 1))
+	want.Add(key(1, 2, 0, 1))
+	if !m.Equal(want) {
+		t.Fatalf("multiset %v, want %v (diff %v)", m, want, m.Diff(want, 0))
+	}
+}

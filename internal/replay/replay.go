@@ -171,6 +171,39 @@ func (r *Replayer) Activity(window time.Duration) []WindowStats {
 	return out
 }
 
+// Totals is the recording's whole-run activity summary: the per-kind
+// record counts plus the delivered-packet multiset.
+type Totals struct {
+	Ingress   int // PacketIn records
+	Delivered int // PacketOut records
+	Dropped   int // PacketDrop records
+	// DeliveredSet counts each (src, relay, flow, seq) delivery with its
+	// multiplicity. The chaos harness compares it against the live run's
+	// delivery ledger: a recording replays faithfully exactly when the
+	// two multisets are equal.
+	DeliveredSet record.Multiset
+}
+
+// Totals replays the full recording once and folds every packet record
+// into whole-run totals.
+func (r *Replayer) Totals() Totals {
+	t := Totals{DeliveredSet: record.NewMultiset()}
+	r.store.ForEachPacket(func(p record.Packet) {
+		switch p.Kind {
+		case record.PacketIn:
+			t.Ingress++
+		case record.PacketOut:
+			t.Delivered++
+			t.DeliveredSet.Add(record.DeliveryKey{
+				Src: p.Src, Relay: p.Relay, Flow: p.Flow, Seq: p.Seq,
+			})
+		case record.PacketDrop:
+			t.Dropped++
+		}
+	})
+	return t
+}
+
 // Script renders the whole run: a frame every step plus the activity
 // table — what the paper's replay window shows, in text.
 func (r *Replayer) Script(step time.Duration, w, h int) string {

@@ -21,6 +21,12 @@ type Scanner struct {
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
+	// inFlight marks the window between PopDue handing the scanner an
+	// item and dispatch returning. Pending counts it, so "Pending()==0"
+	// means every fired item has fully left the scanner — without it a
+	// drain check could observe an empty queue while the last item is
+	// still on its way to a session queue.
+	inFlight bool
 	// stats
 	dispatched uint64
 }
@@ -67,11 +73,16 @@ func (s *Scanner) Push(it Item) {
 	}
 }
 
-// Pending returns the current schedule depth.
+// Pending returns the current schedule depth, counting an item the
+// scanner has popped but not yet finished dispatching.
 func (s *Scanner) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.q.Len()
+	n := s.q.Len()
+	if s.inFlight {
+		n++
+	}
+	return n
 }
 
 // Dispatched returns how many items have been fired so far.
@@ -91,12 +102,16 @@ func (s *Scanner) run() {
 			it, ok := s.q.PopDue(now)
 			if ok {
 				s.dispatched++
+				s.inFlight = true
 			}
 			s.mu.Unlock()
 			if !ok {
 				break
 			}
 			s.dispatch(it)
+			s.mu.Lock()
+			s.inFlight = false
+			s.mu.Unlock()
 		}
 		// Sleep until the next departure, a push, or stop.
 		s.mu.Lock()

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/radio"
+	"repro/internal/vclock"
+)
+
+func wheelItem(due vclock.Time, to uint32) Item {
+	return Item{Due: due, To: radio.NodeID(to)}
+}
+
+// TestWheelSlotRounding: items landing in the same slot pop in exact
+// Due order (the lazy sort restores it), and an item later in the
+// cursor slot is never released before its due time even though the
+// slot as a whole is "due".
+func TestWheelSlotRounding(t *testing.T) {
+	w := NewWheel(vclock.Time(100), 8)
+	// All three hash into the first slot, pushed out of order.
+	w.Push(wheelItem(70, 3))
+	w.Push(wheelItem(10, 1))
+	w.Push(wheelItem(40, 2))
+	if it, ok := w.PopDue(5); ok {
+		t.Fatalf("nothing is due at t=5, got %+v", it)
+	}
+	it, ok := w.PopDue(10)
+	if !ok || it.To != 1 {
+		t.Fatalf("PopDue(10) = %+v, %v; want item 1", it, ok)
+	}
+	// t=40: item 2 is due, item 3 (same slot) is not.
+	it, ok = w.PopDue(40)
+	if !ok || it.To != 2 {
+		t.Fatalf("PopDue(40) = %+v, %v; want item 2", it, ok)
+	}
+	if it, ok := w.PopDue(69); ok {
+		t.Fatalf("item 3 released early at t=69: %+v", it)
+	}
+	if it, ok := w.PopDue(70); !ok || it.To != 3 {
+		t.Fatalf("PopDue(70) = %+v, %v; want item 3", it, ok)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after draining", w.Len())
+	}
+}
+
+// TestWheelEqualDueFIFO: two items with the identical due time leave in
+// push order (the seq tie-break), matching the heap's contract — the
+// in-order delivery pipeline depends on it.
+func TestWheelEqualDueFIFO(t *testing.T) {
+	w := NewWheel(vclock.Time(50), 4)
+	for i := uint32(1); i <= 5; i++ {
+		w.Push(wheelItem(25, i))
+	}
+	for i := uint32(1); i <= 5; i++ {
+		it, ok := w.PopDue(25)
+		if !ok || it.To != radio.NodeID(i) {
+			t.Fatalf("equal-due pop %d = %+v, %v; want item %d", i, it, ok, i)
+		}
+	}
+}
+
+// TestWheelOverflowReinjection: items due beyond the horizon go to the
+// overflow heap and must re-enter the wheel as it turns, popping at
+// their exact due times.
+func TestWheelOverflowReinjection(t *testing.T) {
+	w := NewWheel(vclock.Time(10), 4) // horizon = 40
+	w.Push(wheelItem(500, 2))         // far overflow
+	w.Push(wheelItem(120, 1))         // near overflow
+	w.Push(wheelItem(5, 0))           // in the wheel
+	if got := w.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if due, ok := w.NextDue(); !ok || due != 5 {
+		t.Fatalf("NextDue = %v, %v; want 5", due, ok)
+	}
+	order := []vclock.Time{5, 120, 500}
+	for i, want := range order {
+		if it, ok := w.PopDue(want - 1); ok {
+			t.Fatalf("item %d released at t=%d, due %d: %+v", i, want-1, want, it)
+		}
+		it, ok := w.PopDue(want)
+		if !ok || it.Due != want {
+			t.Fatalf("PopDue(%d) = %+v, %v; want due-%d item", want, it, ok, want)
+		}
+	}
+}
+
+// TestWheelCursorWraparound drives the cursor through many full wheel
+// revolutions with a live push/pop stream and checks nothing is lost,
+// reordered across due times, or released early.
+func TestWheelCursorWraparound(t *testing.T) {
+	const slots = 4
+	w := NewWheel(vclock.Time(10), slots) // horizon 40: revolutions every 40 ticks
+	var popped []vclock.Time
+	pushed := 0
+	for step := 0; step < 300; step++ {
+		now := vclock.Time(step * 7) // co-prime with the slot width: hits every phase
+		w.Push(wheelItem(now+vclock.Time(3+step%60), uint32(step)))
+		pushed++
+		for {
+			it, ok := w.PopDue(now)
+			if !ok {
+				break
+			}
+			if it.Due > now {
+				t.Fatalf("released early: due %d at now %d", it.Due, now)
+			}
+			popped = append(popped, it.Due)
+		}
+	}
+	for {
+		it, ok := w.PopDue(1 << 40)
+		if !ok {
+			break
+		}
+		popped = append(popped, it.Due)
+	}
+	if len(popped) != pushed {
+		t.Fatalf("popped %d of %d items", len(popped), pushed)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after drain", w.Len())
+	}
+}
+
+// TestWheelMatchesHeapOracle is the property test: under a random
+// interleaving of pushes, time advances, and drains, the wheel must pop
+// the exact sequence the reference heap pops — same items, same order.
+func TestWheelMatchesHeapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		w := NewWheel(vclock.Time(1+rng.Int63n(200)), 2+rng.Intn(12))
+		h := NewHeap()
+		now := vclock.Time(rng.Int63n(500))
+		var id uint32
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // push: mostly near-future, sometimes past or far overflow
+				due := now + vclock.Time(rng.Int63n(4000)-200)
+				if due < 0 {
+					due = 0
+				}
+				id++
+				it := wheelItem(due, id)
+				w.Push(it)
+				h.Push(it)
+			case 2:
+				now += vclock.Time(rng.Int63n(600))
+			case 3:
+				drainBoth(t, trial, w, h, now)
+			}
+		}
+		now += 1 << 40
+		drainBoth(t, trial, w, h, now)
+		if w.Len() != 0 || h.Len() != 0 {
+			t.Fatalf("trial %d: residual items: wheel %d, heap %d", trial, w.Len(), h.Len())
+		}
+	}
+}
+
+func drainBoth(t *testing.T, trial int, w *WheelQueue, h *HeapQueue, now vclock.Time) {
+	t.Helper()
+	for {
+		wi, wok := w.PopDue(now)
+		hi, hok := h.PopDue(now)
+		if wok != hok {
+			t.Fatalf("trial %d now=%d: wheel pop=%v heap pop=%v", trial, now, wok, hok)
+		}
+		if !wok {
+			return
+		}
+		if wi.To != hi.To || wi.Due != hi.Due {
+			t.Fatalf("trial %d now=%d: wheel popped (to=%d due=%d), heap (to=%d due=%d)",
+				trial, now, wi.To, wi.Due, hi.To, hi.Due)
+		}
+	}
+}
+
+// TestWheelNextDueExact: NextDue must report the true earliest due time
+// across slots and overflow (the scanner sleeps on it; an overestimate
+// would delay deliveries, an underestimate would spin).
+func TestWheelNextDueExact(t *testing.T) {
+	w := NewWheel(vclock.Time(10), 4)
+	if _, ok := w.NextDue(); ok {
+		t.Fatal("NextDue on empty wheel reported an item")
+	}
+	w.Push(wheelItem(37, 1))
+	w.Push(wheelItem(12, 2))
+	w.Push(wheelItem(900, 3)) // overflow
+	if due, ok := w.NextDue(); !ok || due != 12 {
+		t.Fatalf("NextDue = %v, %v; want 12", due, ok)
+	}
+	w.PopDue(12)
+	if due, ok := w.NextDue(); !ok || due != 37 {
+		t.Fatalf("NextDue = %v, %v; want 37", due, ok)
+	}
+	w.PopDue(37)
+	if due, ok := w.NextDue(); !ok || due != 900 {
+		t.Fatalf("NextDue = %v, %v; want 900 (overflow)", due, ok)
+	}
+}

@@ -9,61 +9,205 @@ import (
 )
 
 // Faulty wraps a Conn with injected impairments — fixed delays on each
-// direction, probabilistic message drops, or a hard error after N
-// sends. Tests and the clock-sync asymmetry experiment (E6) use it; the
-// emulated wireless impairments live in linkmodel, not here (this is
-// the *real* client↔server LAN, which the paper assumes fast but which
-// we still want to stress).
+// direction, probabilistic drops, duplicates and reorders on the send
+// direction, or a hard error after N messages reach the wire. Tests,
+// the clock-sync asymmetry experiment (E6) and the chaos harness
+// (internal/chaos) use it; the emulated wireless impairments live in
+// linkmodel, not here (this is the *real* client↔server LAN, which the
+// paper assumes fast but which we still want to stress).
+//
+// The exported fields may be set freely between NewFaulty and the first
+// use of the connection; once traffic flows, change them only through
+// the Set* methods (they synchronize with in-flight Sends). All dice
+// share one seeded source, so a fixed seed and a fixed call sequence
+// produce the same impairment decisions.
 type Faulty struct {
 	inner Conn
 
-	// SendDelay and RecvDelay stall each direction.
+	// SendDelay and RecvDelay stall each direction (wall time).
 	SendDelay, RecvDelay time.Duration
-	// DropProb silently discards sends with this probability.
+	// DropProb silently discards matching sends with this probability.
 	DropProb float64
+	// DupProb transmits a matching send twice with this probability.
+	DupProb float64
+	// ReorderProb holds a matching send back with this probability; the
+	// held message is transmitted right after the next matching send,
+	// swapping the pair's wire order. At most one message is held; call
+	// Flush to release a held message when no further sends will come.
+	ReorderProb float64
 	// FailAfter, when positive, makes Send return ErrClosed after that
-	// many successful sends (connection-death injection).
+	// many messages have actually been passed to the wrapped connection
+	// (connection-death injection). Dropped and held sends do not
+	// consume FailAfter credit: the counter tracks the wire, not the
+	// caller — a DropProb=1 connection never dies of FailAfter. (It
+	// previously counted every Send call, so expressing "the link dies
+	// after N real messages" under loss was impossible.)
 	FailAfter int
+	// Match selects which messages the drop/dup/reorder dice apply to;
+	// nil matches everything. The chaos harness matches *wire.Data so
+	// handshake and clock-sync traffic stays reliable.
+	Match func(wire.Msg) bool
 
 	mu    sync.Mutex
 	rng   *rand.Rand
-	sends int
+	wired int       // messages actually passed to inner.Send
+	held  *wire.Msg // reorder hold-back slot
+	stats FaultyStats
 }
 
-// NewFaulty wraps inner. seed feeds the drop die.
+// FaultyStats counts what the impairment layer did to matching
+// messages. Wired is the ground truth for accounting across the wrapped
+// connection: every matching message the peer can ever receive is
+// counted there exactly once (duplicates count twice, drops and
+// still-held messages not at all).
+type FaultyStats struct {
+	Sends      uint64 // matching Send calls that returned nil
+	Wired      uint64 // matching messages actually transmitted
+	Dropped    uint64 // matching messages silently discarded
+	Duplicated uint64 // extra copies transmitted by DupProb
+	Reordered  uint64 // held messages released behind a later send
+	Held       uint64 // messages currently in the hold-back slot (0 or 1)
+}
+
+// NewFaulty wraps inner. seed feeds the impairment dice.
 func NewFaulty(inner Conn, seed int64) *Faulty {
 	return &Faulty{inner: inner, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Send implements Conn.
-func (f *Faulty) Send(m wire.Msg) error {
+// SetDelays changes the per-direction stalls at runtime.
+func (f *Faulty) SetDelays(send, recv time.Duration) {
 	f.mu.Lock()
-	if f.FailAfter > 0 && f.sends >= f.FailAfter {
-		f.mu.Unlock()
+	f.SendDelay, f.RecvDelay = send, recv
+	f.mu.Unlock()
+}
+
+// SetImpairments changes the drop/duplicate/reorder probabilities at
+// runtime.
+func (f *Faulty) SetImpairments(drop, dup, reorder float64) {
+	f.mu.Lock()
+	f.DropProb, f.DupProb, f.ReorderProb = drop, dup, reorder
+	f.mu.Unlock()
+}
+
+// SetMatch changes the impairment filter at runtime.
+func (f *Faulty) SetMatch(match func(wire.Msg) bool) {
+	f.mu.Lock()
+	f.Match = match
+	f.mu.Unlock()
+}
+
+// Stats returns a snapshot of the impairment counters.
+func (f *Faulty) Stats() FaultyStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// transmitLocked ships one message on the wrapped connection, charging
+// FailAfter credit. Callers hold f.mu.
+func (f *Faulty) transmitLocked(m wire.Msg) error {
+	if f.FailAfter > 0 && f.wired >= f.FailAfter {
 		f.inner.Close()
 		return ErrClosed
 	}
-	drop := f.DropProb > 0 && f.rng.Float64() < f.DropProb
-	f.sends++
-	f.mu.Unlock()
-	if f.SendDelay > 0 {
-		time.Sleep(f.SendDelay)
+	if err := f.inner.Send(m); err != nil {
+		return err
 	}
-	if drop {
-		return nil // silently lost, like a cut cable mid-datagram
-	}
-	return f.inner.Send(m)
+	f.wired++
+	return nil
 }
 
-// Recv implements Conn.
+// Send implements Conn. Matching messages roll the drop, duplicate and
+// reorder dice in that order; at most one message is ever held back,
+// and it is released immediately after the next matching transmit.
+func (f *Faulty) Send(m wire.Msg) error {
+	f.mu.Lock()
+	delay := f.SendDelay
+	matched := f.Match == nil || f.Match(m)
+	if !matched {
+		err := f.transmitLocked(m)
+		f.mu.Unlock()
+		f.sleep(delay)
+		return err
+	}
+	if f.DropProb > 0 && f.rng.Float64() < f.DropProb {
+		f.stats.Dropped++
+		f.stats.Sends++
+		f.mu.Unlock()
+		f.sleep(delay)
+		return nil // silently lost, like a cut cable mid-datagram
+	}
+	dup := f.DupProb > 0 && f.rng.Float64() < f.DupProb
+	if f.ReorderProb > 0 && f.held == nil && f.rng.Float64() < f.ReorderProb {
+		// Hold m; it will follow the next matching send out.
+		held := m
+		f.held = &held
+		f.stats.Sends++
+		f.stats.Held = 1
+		f.mu.Unlock()
+		f.sleep(delay)
+		return nil
+	}
+	err := f.transmitLocked(m)
+	if err == nil {
+		f.stats.Sends++
+		f.stats.Wired++
+		if dup {
+			if derr := f.transmitLocked(m); derr == nil {
+				f.stats.Wired++
+				f.stats.Duplicated++
+			}
+		}
+		if f.held != nil {
+			if herr := f.transmitLocked(*f.held); herr == nil {
+				f.stats.Wired++
+				f.stats.Reordered++
+			}
+			f.held = nil
+			f.stats.Held = 0
+		}
+	}
+	f.mu.Unlock()
+	f.sleep(delay)
+	return err
+}
+
+// Flush transmits a held (reordered) message, if any. Call it when no
+// further sends will release the hold-back slot — e.g. before draining
+// the peer at a chaos quiesce point.
+func (f *Faulty) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.held == nil {
+		return nil
+	}
+	m := *f.held
+	f.held = nil
+	f.stats.Held = 0
+	if err := f.transmitLocked(m); err != nil {
+		return err
+	}
+	f.stats.Wired++
+	return nil
+}
+
+func (f *Faulty) sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Recv implements Conn. The receive direction only delays: it never
+// drops or reorders, so the wrapped side's FIFO guarantees survive.
 func (f *Faulty) Recv() (wire.Msg, error) {
 	m, err := f.inner.Recv()
 	if err != nil {
 		return nil, err
 	}
-	if f.RecvDelay > 0 {
-		time.Sleep(f.RecvDelay)
-	}
+	f.mu.Lock()
+	delay := f.RecvDelay
+	f.mu.Unlock()
+	f.sleep(delay)
 	return m, nil
 }
 

@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func dataMsg(seq uint32) *wire.Msg {
+	var m wire.Msg = &wire.Data{Pkt: wire.Packet{Src: 1, Dst: 2, Seq: seq}}
+	return &m
+}
+
+// recvSeqs drains n Data messages from c and returns their Seq fields
+// in arrival order.
+func recvSeqs(t *testing.T, c Conn, n int) []uint32 {
+	t.Helper()
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		d, ok := m.(*wire.Data)
+		if !ok {
+			t.Fatalf("recv %d: unexpected %T", i, m)
+		}
+		out = append(out, d.Pkt.Seq)
+	}
+	return out
+}
+
+func TestFaultyReorder(t *testing.T) {
+	client, server := Pipe()
+	f := NewFaulty(client, 7)
+	f.ReorderProb = 1.0
+	// With certainty the first send is held, the second transmits and
+	// releases the first behind it, the third is held again, and so on:
+	// pairs swap on the wire.
+	for seq := uint32(1); seq <= 4; seq++ {
+		if err := f.Send(*dataMsg(seq)); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	got := recvSeqs(t, server, 4)
+	want := []uint32{2, 1, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wire order %v, want %v", got, want)
+		}
+	}
+	st := f.Stats()
+	if st.Reordered != 2 || st.Wired != 4 || st.Held != 0 {
+		t.Errorf("stats %+v, want Reordered=2 Wired=4 Held=0", st)
+	}
+}
+
+func TestFaultyFlush(t *testing.T) {
+	client, server := Pipe()
+	f := NewFaulty(client, 7)
+	f.ReorderProb = 1.0
+	if err := f.Send(*dataMsg(9)); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.Held != 1 || st.Wired != 0 {
+		t.Fatalf("stats before flush: %+v", st)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvSeqs(t, server, 1); got[0] != 9 {
+		t.Errorf("flushed seq %d, want 9", got[0])
+	}
+	if st := f.Stats(); st.Held != 0 || st.Wired != 1 {
+		t.Errorf("stats after flush: %+v", st)
+	}
+	// Idempotent with nothing held.
+	if err := f.Flush(); err != nil {
+		t.Errorf("empty flush: %v", err)
+	}
+}
+
+func TestFaultyDuplicate(t *testing.T) {
+	client, server := Pipe()
+	f := NewFaulty(client, 3)
+	f.DupProb = 1.0
+	for seq := uint32(1); seq <= 3; seq++ {
+		if err := f.Send(*dataMsg(seq)); err != nil {
+			t.Fatalf("send %d: %v", seq, err)
+		}
+	}
+	got := recvSeqs(t, server, 6)
+	want := []uint32{1, 1, 2, 2, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wire order %v, want %v", got, want)
+		}
+	}
+	st := f.Stats()
+	if st.Duplicated != 3 || st.Wired != 6 || st.Sends != 3 {
+		t.Errorf("stats %+v, want Duplicated=3 Wired=6 Sends=3", st)
+	}
+}
+
+func TestFaultyDropDoesNotConsumeFailAfter(t *testing.T) {
+	client, _ := Pipe()
+	f := NewFaulty(client, 1)
+	f.DropProb = 1.0
+	f.FailAfter = 2
+	// Dropped sends never touch the wire, so the connection outlives any
+	// number of them.
+	for i := 0; i < 10; i++ {
+		if err := f.Send(*dataMsg(uint32(i))); err != nil {
+			t.Fatalf("dropped send %d: %v", i, err)
+		}
+	}
+	f.SetImpairments(0, 0, 0)
+	for i := 0; i < 2; i++ {
+		if err := f.Send(*dataMsg(100 + uint32(i))); err != nil {
+			t.Fatalf("wired send %d: %v", i, err)
+		}
+	}
+	if err := f.Send(*dataMsg(200)); !errors.Is(err, ErrClosed) {
+		t.Errorf("FailAfter after 2 wired messages: %v", err)
+	}
+	st := f.Stats()
+	if st.Dropped != 10 || st.Wired != 2 {
+		t.Errorf("stats %+v, want Dropped=10 Wired=2", st)
+	}
+}
+
+func TestFaultyMatchFilter(t *testing.T) {
+	client, server := Pipe()
+	f := NewFaulty(client, 5)
+	f.DropProb = 1.0
+	f.Match = func(m wire.Msg) bool { _, ok := m.(*wire.Data); return ok }
+	// Data is dropped; control traffic passes untouched.
+	if err := f.Send(*dataMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(&wire.SyncReq{TC1: 42}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr, ok := m.(*wire.SyncReq); !ok || sr.TC1 != 42 {
+		t.Errorf("unexpected first arrival %T %v", m, m)
+	}
+	client.Close()
+	if _, err := server.Recv(); err != io.EOF {
+		t.Errorf("dropped Data arrived: %v", err)
+	}
+	st := f.Stats()
+	if st.Dropped != 1 || st.Wired != 0 {
+		t.Errorf("stats %+v: unmatched sends must not be counted", st)
+	}
+}
+
+func TestFaultyDeterministicDice(t *testing.T) {
+	run := func() FaultyStats {
+		client, server := Pipe()
+		f := NewFaulty(client, 99)
+		f.DropProb = 0.3
+		f.DupProb = 0.2
+		f.ReorderProb = 0.2
+		go func() { // drain so the pipe never blocks
+			for {
+				if _, err := server.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		for seq := uint32(0); seq < 200; seq++ {
+			if err := f.Send(*dataMsg(seq)); err != nil {
+				t.Fatalf("send %d: %v", seq, err)
+			}
+		}
+		f.Flush()
+		st := f.Stats()
+		client.Close()
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Dropped == 0 || a.Duplicated == 0 || a.Reordered == 0 {
+		t.Errorf("dice never fired: %+v", a)
+	}
+}

@@ -1,0 +1,48 @@
+package vclock
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Monotonic guards a clock against going backwards. A Synced clock can
+// regress: a resync that installs a smaller offset (the estimate got
+// *better*, the previous one was too far ahead) pulls Now below a value
+// already handed out, and a client stamping packets through it would
+// emit a timestamp pair that travels back in time — poisoning any
+// consumer that relies on per-source stamp order, the paper's parallel
+// time-stamping first among them. Monotonic clamps each reading to a
+// floor of everything it has returned before: offset refinements then
+// show up as the clock running slow for a moment, never as time
+// reversing.
+//
+// The floor is maintained with a CAS loop, so a Monotonic is safe for
+// concurrent readers and the guarantee is global across goroutines, not
+// per caller.
+type Monotonic struct {
+	inner Clock
+	floor atomic.Int64
+}
+
+// NewMonotonic wraps inner. The floor starts below any representable
+// time, so the first reading always passes through.
+func NewMonotonic(inner Clock) *Monotonic {
+	m := &Monotonic{inner: inner}
+	m.floor.Store(math.MinInt64)
+	return m
+}
+
+// Now returns the wrapped clock's reading, clamped to never be earlier
+// than any reading Now has returned before.
+func (m *Monotonic) Now() Time {
+	t := int64(m.inner.Now())
+	for {
+		f := m.floor.Load()
+		if t <= f {
+			return Time(f)
+		}
+		if m.floor.CompareAndSwap(f, t) {
+			return Time(t)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonotonicClampsRegression(t *testing.T) {
+	local := NewManual(0)
+	sc := NewSynced(local)
+	m := NewMonotonic(sc)
+
+	sc.SetOffset(100 * time.Millisecond)
+	local.Set(Time(50 * time.Millisecond.Nanoseconds()))
+	t1 := m.Now() // 150ms
+
+	// A refined (smaller) offset pulls the synced clock back below t1.
+	sc.SetOffset(20 * time.Millisecond)
+	if raw := sc.Now(); raw >= t1 {
+		t.Fatalf("test rig broken: synced clock did not regress (%v >= %v)", raw, t1)
+	}
+	if t2 := m.Now(); t2 < t1 {
+		t.Fatalf("monotonic clock regressed: %v after %v", t2, t1)
+	}
+
+	// Once the underlying clock catches back up, readings advance again.
+	local.Set(Time(500 * time.Millisecond.Nanoseconds()))
+	if t3 := m.Now(); t3 <= t1 {
+		t.Fatalf("monotonic clock stuck at floor: %v not past %v", t3, t1)
+	}
+}
+
+func TestMonotonicNegativeFirstReading(t *testing.T) {
+	local := NewManual(Time(-5 * time.Second.Nanoseconds()))
+	m := NewMonotonic(local)
+	if got := m.Now(); got != Time(-5*time.Second.Nanoseconds()) {
+		t.Fatalf("first reading clamped: %v", got)
+	}
+}
+
+func TestMonotonicConcurrent(t *testing.T) {
+	m := NewMonotonic(NewSystem(1))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := m.Now()
+			for i := 0; i < 5000; i++ {
+				now := m.Now()
+				if now < prev {
+					t.Errorf("regressed: %v after %v", now, prev)
+					return
+				}
+				prev = now
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# fuzz_smoke.sh — short fuzzing pass over every fuzz target in the repo.
+#
+# `go test -fuzz` accepts exactly one target per invocation, so this
+# loops over the known (package, target) pairs with a small -fuzztime.
+# It is a smoke test: the goal is catching regressions in the decoders'
+# robustness quickly on every push, not deep exploration (the nightly
+# workflow runs the same loop with a longer budget). Run from the repo
+# root:
+#
+#	./scripts/fuzz_smoke.sh [fuzztime]
+set -eu
+
+FUZZTIME=${1:-20s}
+
+run() {
+	pkg=$1
+	target=$2
+	echo "==> fuzz $pkg $target ($FUZZTIME)"
+	go test "$pkg" -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME"
+}
+
+run ./internal/wire FuzzReadMsg
+run ./internal/script FuzzParse
+run ./internal/record FuzzLoad
+run ./internal/routing FuzzDecodeFrame
+run ./internal/routing FuzzProtocolsSurviveGarbage
+
+echo "fuzz smoke: all targets survived $FUZZTIME"
