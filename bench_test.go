@@ -11,6 +11,7 @@ package repro
 // numbers appear next to the timings.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"strings"
@@ -209,8 +210,19 @@ func BenchmarkServerForwardPipeline(b *testing.B) {
 // spawn per delivery here; the queue path pays one enqueue. The run is
 // instrumented with the obs registry (default 1-in-64 sampling, the
 // production setting) and reports per-stage p99 latencies — the
-// overhead baseline recorded in BENCH_obs.json.
+// overhead baseline recorded in BENCH_obs.json. The shards=1/shards=4
+// pair is the sharded-core comparison recorded in BENCH_shard.json:
+// at 4 shards the 8 receivers' deliveries spread over 4 independent
+// scanner/clock loops instead of serializing on one.
 func BenchmarkSessionQueueFanout(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchSessionQueueFanout(b, shards)
+		})
+	}
+}
+
+func benchSessionQueueFanout(b *testing.B, shards int) {
 	const receivers = 8
 	clk := vclock.NewSystem(1000)
 	sc := scene.New(radio.NewIndexed(250), clk, 1)
@@ -220,7 +232,7 @@ func BenchmarkSessionQueueFanout(b *testing.B) {
 			[]radio.Radio{{Channel: 1, Range: 500}})
 	}
 	reg := obs.NewRegistry()
-	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc, Obs: reg})
+	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc, Obs: reg, Shards: shards})
 	if err != nil {
 		b.Fatal(err)
 	}

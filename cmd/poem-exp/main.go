@@ -15,7 +15,7 @@
 //	poem-exp protocols
 //	poem-exp capacity
 //	poem-exp scalability
-//	poem-exp chaos [-seed 1] [-runs 20] [-events 60]
+//	poem-exp chaos [-seed 1] [-runs 20] [-events 60] [-shards 4]
 //	poem-exp all
 package main
 
@@ -39,6 +39,7 @@ func main() {
 		seed     = fs.Int64("seed", 1, "random seed")
 		runs     = fs.Int("runs", 20, "chaos: scenarios to run on consecutive seeds")
 		events   = fs.Int("events", 0, "chaos: events per scenario (0 = default)")
+		shards   = fs.Int("shards", 0, "chaos: server pipeline shards (0 = single shard)")
 	)
 	if len(os.Args) < 2 {
 		usage()
@@ -87,7 +88,7 @@ func main() {
 			_, err := experiment.Scalability(out, experiment.ScalabilityConfig{})
 			return err
 		case "chaos":
-			failures := chaos.Sweep(*seed, *runs, *events, func(rep chaos.Report) {
+			failures := chaos.Sweep(*seed, *runs, *events, *shards, func(rep chaos.Report) {
 				status := "ok"
 				if !rep.OK() {
 					status = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))

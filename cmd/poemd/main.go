@@ -53,6 +53,8 @@ func main() {
 			"HTTP debug listen address serving /metrics, /trace and /debug/pprof (empty to disable)")
 		sampleEvery = flag.Int("obs-sample", 0,
 			"time+trace one packet in N per session (0 = default, negative = off)")
+		shards = flag.Int("shards", 0,
+			"pipeline shards the core runs (0 = min(GOMAXPROCS, 8); 1 = single-shard legacy pipeline)")
 	)
 	flag.Parse()
 
@@ -66,6 +68,7 @@ func main() {
 		Seed: *seed, TickStep: *tick, AutoCreateNodes: *autoCreate,
 		SendQueueDepth: *sendQueue, MaxStampSkew: *maxSkew,
 		Obs: reg, Tracer: tracer, ObsSampleEvery: *sampleEvery,
+		Shards: *shards,
 	})
 	if err != nil {
 		log.Fatalf("poemd: %v", err)
@@ -106,7 +109,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("poemd: %v", err)
 	}
-	log.Printf("poemd: clients on %s (scale %gx)", lis.Addr(), *scale)
+	log.Printf("poemd: clients on %s (scale %gx, %d shards)", lis.Addr(), *scale, srv.Shards())
 	serveDone := make(chan struct{})
 	go func() {
 		defer close(serveDone)

@@ -35,6 +35,10 @@ const DefaultIngressDelay = 50 * time.Microsecond
 func Configure(cfg core.ServerConfig) core.ServerConfig {
 	cfg.StampAtServer = true
 	cfg.SerialIngress = true
+	// The centralized baseline is a single pipeline by definition: its
+	// serial ingress funnels through one global lock, so extra shards
+	// would only blur what E4 attributes to the stamping architecture.
+	cfg.Shards = 1
 	if cfg.IngressDelay == 0 {
 		cfg.IngressDelay = DefaultIngressDelay
 	}

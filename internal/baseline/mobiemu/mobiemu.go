@@ -19,7 +19,9 @@
 // strictly in order, one at a time. The E5 experiment sweeps the update
 // rate and station heterogeneity and reports how stale the stations'
 // scene views get — the quantity PoEm's centralized scene keeps at
-// exactly zero.
+// exactly zero. The simulation never touches core.Server, so the
+// core's shard count is irrelevant here (unlike the jemu baseline,
+// which pins Shards to 1).
 package mobiemu
 
 import (

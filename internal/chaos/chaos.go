@@ -68,6 +68,12 @@ type Config struct {
 	// QueueDepth bounds each session's outbound queue; small values
 	// exercise the drop-oldest policy.
 	QueueDepth int
+	// Shards is the server's pipeline shard count. It is an execution
+	// parameter, deliberately EXCLUDED from Lines()/Digest(): the same
+	// seed must produce the same schedule at every shard count, so one
+	// digest names one scenario and the invariants are judged across
+	// shard counts on identical event logs.
+	Shards int
 	// Sabotage injects a deliberate harness-side corruption so the
 	// invariant checkers can be shown to catch violations (self-test).
 	Sabotage Sabotage
@@ -106,6 +112,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
 	}
 	return c
 }

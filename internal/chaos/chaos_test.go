@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"flag"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -13,33 +14,55 @@ var (
 		"how many consecutive seeds the sweep covers")
 	flagEvents = flag.Int("chaos.events", 0,
 		"events per scenario (0 = default)")
+	flagShards = flag.Int("chaos.shards", 0,
+		"server pipeline shard count; 0 sweeps the {1,4} matrix")
 )
+
+// shardCounts returns the shard counts the sweep covers: the forced
+// flag value, or the {1, 4} matrix (single-shard legacy baseline and a
+// cross-shard-routing count).
+func shardCounts() []int {
+	if *flagShards > 0 {
+		return []int{*flagShards}
+	}
+	return []int{1, 4}
+}
 
 // TestChaos is the acceptance sweep: every seed must generate the same
 // schedule twice (byte-identical digests) and execute with all five
 // invariants holding. A failing seed prints a self-contained
 // reproduction report.
 func TestChaos(t *testing.T) {
-	if *flagSeed >= 0 {
-		runSeed(t, *flagSeed)
-		return
-	}
-	n := *flagSeeds
-	if testing.Short() && n > 8 {
-		n = 8
-	}
-	for s := 0; s < n; s++ {
-		runSeed(t, int64(s))
+	for _, shards := range shardCounts() {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			if *flagSeed >= 0 {
+				runSeed(t, *flagSeed, shards)
+				return
+			}
+			n := *flagSeeds
+			if testing.Short() && n > 8 {
+				n = 8
+			}
+			for s := 0; s < n; s++ {
+				runSeed(t, int64(s), shards)
+			}
+		})
 	}
 }
 
-func runSeed(t *testing.T, seed int64) {
+func runSeed(t *testing.T, seed int64, shards int) {
 	t.Helper()
-	cfg := Config{Seed: seed, Events: *flagEvents}
+	cfg := Config{Seed: seed, Events: *flagEvents, Shards: shards}
 	d1 := GenerateSchedule(cfg).Digest()
 	d2 := GenerateSchedule(cfg).Digest()
 	if d1 != d2 {
 		t.Fatalf("seed %d: schedule generation is nondeterministic: %s vs %s", seed, d1, d2)
+	}
+	// Shards is an execution parameter: it must not leak into the
+	// schedule, so one seed names one scenario at every shard count.
+	if single := GenerateSchedule(Config{Seed: seed, Events: *flagEvents, Shards: 1}).Digest(); single != d1 {
+		t.Fatalf("seed %d: shard count changed the schedule digest: %s vs %s", seed, d1, single)
 	}
 	rep := Run(cfg)
 	if rep.Digest != d1 {

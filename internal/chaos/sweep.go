@@ -1,14 +1,16 @@
 package chaos
 
 // Sweep runs n scenarios on consecutive seeds starting at base and
-// returns the failing reports. onRun, when non-nil, observes every
-// report as it completes — the test logs progress through it and the
-// poem-exp chaos verb prints per-seed lines. Shared by both so the CI
-// sweep and the command line exercise the identical harness.
-func Sweep(base int64, n, events int, onRun func(Report)) []Report {
+// returns the failing reports. shards sets the server's pipeline shard
+// count for every run (0 = single shard); the schedules are identical
+// at any count. onRun, when non-nil, observes every report as it
+// completes — the test logs progress through it and the poem-exp chaos
+// verb prints per-seed lines. Shared by both so the CI sweep and the
+// command line exercise the identical harness.
+func Sweep(base int64, n, events, shards int, onRun func(Report)) []Report {
 	var failures []Report
 	for i := 0; i < n; i++ {
-		rep := Run(Config{Seed: base + int64(i), Events: events})
+		rep := Run(Config{Seed: base + int64(i), Events: events, Shards: shards})
 		if onRun != nil {
 			onRun(rep)
 		}

@@ -167,6 +167,12 @@ func (s *Server) execute(line string, w io.Writer) {
 		fmt.Fprintf(w, "clients=%d received=%d forwarded=%d dropped=%d noroute=%d scheduled=%d queuedrops=%d stampclamped=%d\n",
 			st.Clients, st.Received, st.Forwarded, st.Dropped, st.NoRoute, st.Scheduled,
 			st.QueueDrops, st.StampClamped)
+		// One line per pipeline shard: where the sessions landed and how
+		// much schedule work each slice is carrying.
+		for _, sh := range s.emu.ShardStats() {
+			fmt.Fprintf(w, "  shard %d clients=%d scheduled=%d dispatched=%d entered=%d queuedepth=%d\n",
+				sh.Shard, sh.Clients, sh.Scheduled, sh.Dispatched, sh.Entered, sh.QueueDepth)
+		}
 		// One line per channel: how often its dispatch view was rebuilt
 		// (the §4.2 channel-indexed update cost, live).
 		rebuilds := s.scene.ViewRebuildCounts()

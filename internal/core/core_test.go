@@ -1,6 +1,8 @@
 package core
 
 import (
+	"flag"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +16,26 @@ import (
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
+
+// flagShards forces every rig-built server onto a fixed shard count, so
+// CI can run the whole package suite against a sharded core
+// (go test ./internal/core -shards=4). Zero keeps ServerConfig's own
+// default (min(GOMAXPROCS, 8)); tests that pin Shards explicitly — the
+// shard-count matrix below — override it either way.
+var flagShards = flag.Int("shards", 0,
+	"force rig servers onto this many core shards (0 = ServerConfig default)")
+
+// forEachShardCount is the shard-count test matrix: it runs the test
+// body at one shard (the pre-sharding ablation baseline, exact legacy
+// behavior) and at four shards (cross-shard routing exercised even for
+// small node sets). The pipeline invariants under test must hold
+// unchanged at every count.
+func forEachShardCount(t *testing.T, f func(t *testing.T, shards int)) {
+	for _, n := range []int{1, 4} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) { f(t, n) })
+	}
+}
 
 // rig is a running server plus helpers to attach clients.
 type rig struct {
@@ -31,7 +53,7 @@ func newRig(t *testing.T, mutate func(*ServerConfig)) *rig {
 	clk := vclock.NewSystem(50) // compressed time: 20ms wall = 1s emulated
 	sc := scene.New(radio.NewIndexed(250), clk, 1)
 	st := record.NewStore()
-	cfg := ServerConfig{Clock: clk, Scene: sc, Store: st, Seed: 7}
+	cfg := ServerConfig{Clock: clk, Scene: sc, Store: st, Seed: 7, Shards: *flagShards}
 	if mutate != nil {
 		mutate(&cfg)
 	}

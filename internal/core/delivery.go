@@ -1,0 +1,134 @@
+package core
+
+// Delivery: §3.2 steps 5–6. Each shard's scanner fires due items into
+// the addressee's bounded send queue (deliver); one dedicated writer
+// goroutine per session drains that queue and performs the socket
+// writes (sessionWriter/writeOut).
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/record"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// deliver is §3.2 step 6: at the scheduled time the packet is handed
+// to the addressee's outbound queue. It runs on this shard's scanner
+// goroutine and never blocks — the session's dedicated writer performs
+// the socket write, so the scanner cannot be stalled by a slow client
+// and the goroutine count stays O(connected clients + shards) rather
+// than O(in-flight packets). Because the scanner fires items in due
+// order and the queue is FIFO, deliveries to a client leave in
+// schedule order; ingest routes every item for this destination to
+// this one shard, so no other scanner can interleave.
+//
+// There is deliberately no server-closed check here: Close shuts the
+// sessions down before stopping the shard scanners, and a delivery
+// into a closed (or missing) session accounts itself abandoned — the
+// closed sendQueue rejects the push and settles the trace slot and the
+// abandoned counter itself. Keeping the front's mutex off this path is
+// what lets N scanners run without sharing a lock.
+func (sh *shard) deliver(it sched.Item) {
+	s := sh.srv
+	if h := s.deliverHook.Load(); h != nil {
+		(*h)(it)
+	}
+	sess := sh.lookup(it.To)
+	if sess == nil {
+		if it.Trace != 0 {
+			s.tracer.Release(it.Trace)
+		}
+		s.mAbandoned.Inc()
+		return // the client left between scheduling and departure
+	}
+	if sess.q.full() {
+		// Distinguish "the writer has not been scheduled yet" (a burst
+		// outran it — common on few cores) from "the client is wedged"
+		// (its writer is parked in conn.Send and not runnable). Yielding
+		// lets a healthy writer drain before we resort to dropping;
+		// against a wedged one the queue is still full afterwards and
+		// drop-oldest engages as intended.
+		runtime.Gosched()
+	}
+	// A traced item marks a sampled packet: time the enqueue stage and
+	// record how far past its due time the departure fired. If push
+	// rejects the entry, the queue releases the trace slot itself.
+	var t0 time.Time
+	if it.Trace != 0 {
+		t0 = time.Now()
+		nowEmu := s.cfg.Clock.Now()
+		s.hDeliverLag.Observe(time.Duration(nowEmu - it.Due))
+		s.tracer.Rec(it.Trace).Enqueue = int64(nowEmu)
+	}
+	sess.q.push(outMsg{kind: outData, pkt: it.Pkt, trace: it.Trace})
+	if it.Trace != 0 {
+		s.hEnqueue.Observe(time.Since(t0))
+	}
+}
+
+// sessionWriter is the per-session sending goroutine: it drains the
+// session's queue in FIFO order and performs the actual writes. One
+// writer per session means a wedged client backpressures only itself;
+// everyone else's writers keep draining.
+func (s *Server) sessionWriter(sess *session) {
+	defer s.wg.Done()
+	for {
+		m, ok := sess.q.pop(sess.stop)
+		if !ok {
+			return // session over; the queue accounted anything left
+		}
+		// A popped entry is "in flight" until its counters are settled —
+		// forwarded on success, abandoned on a failed data send — so a
+		// drain check never observes the gap between pop and accounting.
+		err := s.writeOut(sess, m)
+		sess.q.done()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// writeOut ships one queue entry to the session's client and settles
+// its accounting. A send error abandons the entry (the session is dying
+// — the caller exits the writer).
+func (s *Server) writeOut(sess *session, m outMsg) error {
+	switch m.kind {
+	case outRadios:
+		if err := sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: m.radios}); err != nil {
+			return err
+		}
+	case outData:
+		var t0 time.Time
+		if m.trace != 0 {
+			t0 = time.Now()
+		}
+		if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
+			if m.trace != 0 {
+				s.tracer.Release(m.trace)
+			}
+			s.mAbandoned.Inc()
+			return err
+		}
+		if m.trace != 0 {
+			// Final stage: the packet is on the wire. Stamp it, name
+			// the concrete receiver, and commit the record.
+			s.hSend.Observe(time.Since(t0))
+			rec := s.tracer.Rec(m.trace)
+			rec.Send = int64(s.cfg.Clock.Now())
+			rec.Relay = uint32(sess.id)
+			s.tracer.Commit(m.trace)
+		}
+		s.mForwarded.Inc()
+		sess.forwarded.Add(1)
+		if s.cfg.Store != nil {
+			s.cfg.Store.AddPacket(record.Packet{
+				Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: m.pkt.Stamp,
+				Src: m.pkt.Src, Dst: m.pkt.Dst, Relay: sess.id, Channel: m.pkt.Channel,
+				Flow: m.pkt.Flow, Seq: m.pkt.Seq, Size: uint32(m.pkt.Size()),
+			})
+		}
+	}
+	return nil
+}

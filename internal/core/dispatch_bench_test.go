@@ -38,7 +38,14 @@ func (discardQueue) Len() int                              { return 0 }
 
 // newDispatchBench builds a server over a populated scene: `nodes` VMNs
 // in a row on channel 1, spaced so each hears a handful of neighbors.
+// The injected Queue pins the server to a single shard.
 func newDispatchBench(tb testing.TB, locked bool, nodes int) *Server {
+	return newDispatchBenchShards(tb, locked, nodes, 0)
+}
+
+// newDispatchBenchShards is the sharded variant: discard queues come
+// from a QueueFactory so each shard's scanner gets its own.
+func newDispatchBenchShards(tb testing.TB, locked bool, nodes, shards int) *Server {
 	tb.Helper()
 	clk := vclock.NewManual(vclock.FromSeconds(100))
 	sc := scene.New(radio.NewIndexed(120), clk, 1)
@@ -49,10 +56,14 @@ func newDispatchBench(tb testing.TB, locked bool, nodes int) *Server {
 			tb.Fatal(err)
 		}
 	}
-	srv, err := NewServer(ServerConfig{
-		Clock: clk, Scene: sc, Queue: discardQueue{},
-		Seed: 1, LockedDispatch: locked,
-	})
+	cfg := ServerConfig{Clock: clk, Scene: sc, Seed: 1, LockedDispatch: locked}
+	if shards > 0 {
+		cfg.Shards = shards
+		cfg.QueueFactory = func() sched.Queue { return discardQueue{} }
+	} else {
+		cfg.Queue = discardQueue{}
+	}
+	srv, err := NewServer(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -73,9 +84,17 @@ func BenchmarkDispatchParallel(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
 		locked bool
-	}{{"locked", true}, {"snapshot", false}} {
+		shards int
+	}{
+		{"locked", true, 0},
+		{"snapshot", false, 0},
+		// The schedule-push half of the hot path spread over 4 shard
+		// queues: on multi-core hosts concurrent sessions stop
+		// serializing on one scanner mutex.
+		{"snapshot-shards=4", false, 4},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
-			srv := newDispatchBench(b, mode.locked, nodes)
+			srv := newDispatchBenchShards(b, mode.locked, nodes, mode.shards)
 			var next int64
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -14,13 +14,20 @@ import (
 	"repro/internal/wire"
 )
 
-// tcpRig starts a server on a real TCP listener for byte-level abuse.
+// tcpRig starts a server on a real TCP listener for byte-level abuse,
+// honoring the package-level -shards override.
 func tcpRig(t *testing.T) (addr string, sc *scene.Scene, srv *Server) {
+	return tcpRigShards(t, *flagShards)
+}
+
+// tcpRigShards is tcpRig with an explicit shard count, for the
+// shard-count matrix (0 = ServerConfig default).
+func tcpRigShards(t *testing.T, shards int) (addr string, sc *scene.Scene, srv *Server) {
 	t.Helper()
 	clk := vclock.NewSystem(50)
 	sc = scene.New(radio.NewIndexed(250), clk, 1)
 	sc.AddNode(1, geom.V(0, 0), []radio.Radio{{Channel: 1, Range: 200}})
-	srv, err := NewServer(ServerConfig{Clock: clk, Scene: sc})
+	srv, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +107,11 @@ func TestServerRejectsBroadcastID(t *testing.T) {
 // Raw garbage on the socket must kill only that session, never the
 // server.
 func TestServerSurvivesGarbageBytes(t *testing.T) {
-	addr, _, srv := tcpRig(t)
+	forEachShardCount(t, testServerSurvivesGarbageBytes)
+}
+
+func testServerSurvivesGarbageBytes(t *testing.T, shards int) {
+	addr, _, srv := tcpRigShards(t, shards)
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +189,11 @@ func TestServerFreesSessionSlot(t *testing.T) {
 
 // A session dying mid-burst must not lose other clients' traffic.
 func TestServerIsolatesSessionFailure(t *testing.T) {
-	addr, sc, _ := tcpRig(t)
+	forEachShardCount(t, testServerIsolatesSessionFailure)
+}
+
+func testServerIsolatesSessionFailure(t *testing.T, shards int) {
+	addr, sc, _ := tcpRigShards(t, shards)
 	sc.AddNode(2, geom.V(50, 0), []radio.Radio{{Channel: 1, Range: 200}})
 	sc.AddNode(3, geom.V(100, 0), []radio.Radio{{Channel: 1, Range: 200}})
 	clk := vclock.NewSystem(50)

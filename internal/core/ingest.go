@@ -1,0 +1,230 @@
+package core
+
+// Ingest: §3.2 steps 1–4. Runs on the receiving session's reader
+// goroutine; the only cross-session state it touches is the (lock-free)
+// scene dispatch snapshot, the destination shards' schedules, and — for
+// the SerializeChannels extension — the shared channel airtime map.
+
+import (
+	"time"
+
+	"repro/internal/linkmodel"
+	"repro/internal/obs"
+	"repro/internal/radio"
+	"repro/internal/record"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// ingest is §3.2 steps 1–4 for one received packet. Each surviving
+// target is listed into the schedule of the shard that owns the
+// *destination* (shardOf(k.to)): all deliveries to one client fire from
+// one scanner, which is what keeps per-destination FIFO true at every
+// shard count.
+func (s *Server) ingest(sess *session, pkt wire.Packet) {
+	// The received counters commit last, once every schedule entry and
+	// record row for this packet exists: "Received == packets the wire
+	// delivered" then implies no ingest is still mid-flight, which is
+	// what lets a drained pipeline be checked with exact equalities
+	// instead of retry heuristics (see Quiesce and internal/chaos).
+	defer func() {
+		s.mReceived.Inc()
+		sess.received.Add(1)
+	}()
+	// Sampling gate: one atomic load; the countdown itself is confined
+	// to this session's reader goroutine. Sampled packets pay the
+	// time.Now reads, histogram adds and a tracer slot; everything else
+	// skips the entire instrumentation below.
+	sampled := false
+	var obsStart time.Time
+	if se := s.sampleEvery.Load(); se != 0 {
+		sess.obsTick++
+		if sess.obsTick >= se {
+			sess.obsTick = 0
+			sampled = true
+			obsStart = time.Now()
+		}
+	}
+	if s.cfg.SerialIngress {
+		// The centralized baseline: every packet crosses one interface
+		// and is processed serially before the next can be stamped.
+		s.ingressMu.Lock()
+		if s.cfg.IngressDelay > 0 {
+			time.Sleep(s.cfg.IngressDelay)
+		}
+		if s.cfg.StampAtServer {
+			pkt.Stamp = s.cfg.Clock.Now()
+		}
+		s.ingressMu.Unlock()
+	} else if s.cfg.StampAtServer {
+		pkt.Stamp = s.cfg.Clock.Now()
+	}
+	now := s.cfg.Clock.Now()
+	if pkt.Src != sess.id {
+		pkt.Src = sess.id // a VMN cannot spoof another's traffic
+	}
+	// Parallel stamps are trusted for accuracy (§4.1), not unboundedly:
+	// a client clock running ahead of every honest sync error would
+	// otherwise list its packets arbitrarily deep into the schedule's
+	// future. Late stamps need no clamp — the `due < now` floor below
+	// already keeps them from shipping into the past.
+	if maxSkew := s.cfg.MaxStampSkew; maxSkew >= 0 {
+		if maxSkew == 0 {
+			maxSkew = DefaultMaxStampSkew
+		}
+		if horizon := now.Add(maxSkew); pkt.Stamp > horizon {
+			pkt.Stamp = horizon
+			s.mStampClamped.Inc()
+		}
+	}
+	if s.cfg.Store != nil {
+		s.cfg.Store.AddPacket(record.Packet{
+			Kind: record.PacketIn, At: now, Stamp: pkt.Stamp,
+			Src: pkt.Src, Dst: pkt.Dst, Channel: pkt.Channel,
+			Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+		})
+	}
+	// Lifecycle trace: claim a slot for the sampled packet and seed the
+	// stages known here (the client's parallel stamp and our ingest
+	// time, both emulation ns). Later stages write through the handle.
+	var th uint32
+	if sampled {
+		th = s.tracer.Begin(obs.TraceRecord{
+			Src: uint32(pkt.Src), Dst: uint32(pkt.Dst),
+			Channel: uint16(pkt.Channel), Flow: pkt.Flow,
+			Seq: pkt.Seq, Size: uint32(pkt.Size()),
+			Stamp: int64(pkt.Stamp), Ingest: int64(now),
+		})
+	}
+	// Step 2: resolve NT(src, ch) and the channel's link model in one
+	// epoch-snapshot read — a single atomic load, no locks, no copies
+	// (scene.Dispatch). The row is shared with the snapshot and strictly
+	// read-only here. LockedDispatch is the ablation that answers the
+	// same questions through the scene mutex, twice.
+	var rows []radio.Neighbor
+	var model linkmodel.Model
+	if s.cfg.LockedDispatch {
+		rows = s.cfg.Scene.Neighbors(pkt.Src, pkt.Channel)
+		model = s.cfg.Scene.ModelFor(pkt.Channel)
+	} else {
+		rows, model = s.cfg.Scene.Dispatch(pkt.Src, pkt.Channel)
+	}
+	// Steps 2–3 fused: filter targets and roll the link-model die in one
+	// pass over the row. t_receipt is the client's parallel stamp
+	// (real-time recording), unless the baseline overrode it above. The
+	// survivors land in the session's reusable scratch buffer.
+	kept := sess.kept[:0]
+	matched := 0
+	var maxTx time.Duration
+	for _, nb := range rows {
+		if pkt.Dst != radio.Broadcast && pkt.Dst != nb.ID {
+			continue
+		}
+		matched++
+		dec := model.Evaluate(nb.Dist, pkt.Size(), sess.rng)
+		if dec.Drop {
+			s.mDropped.Inc()
+			if s.cfg.Store != nil {
+				s.cfg.Store.AddPacket(record.Packet{
+					Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
+					Src: pkt.Src, Dst: pkt.Dst, Relay: nb.ID, Channel: pkt.Channel,
+					Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+				})
+			}
+			continue
+		}
+		kept = append(kept, keptTarget{to: nb.ID, delay: dec.Delay, tx: dec.TxTime})
+		if dec.TxTime > maxTx {
+			maxTx = dec.TxTime
+		}
+	}
+	sess.kept = kept
+	// Resolve stage done: dispatch view read, targets filtered, dice
+	// rolled. The histogram gets the wall cost, the trace the emulation
+	// timestamp.
+	if sampled {
+		s.hResolve.Observe(time.Since(obsStart))
+		if th != 0 {
+			s.tracer.Rec(th).Resolve = int64(s.cfg.Clock.Now())
+		}
+	}
+	if matched == 0 {
+		s.mNoRoute.Inc()
+		if s.cfg.Store != nil {
+			s.cfg.Store.AddPacket(record.Packet{
+				Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
+				Src: pkt.Src, Dst: pkt.Dst, Relay: pkt.Dst, Channel: pkt.Channel,
+				Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
+			})
+		}
+		s.finishIngest(sampled, obsStart, th)
+		return
+	}
+	if len(kept) == 0 {
+		s.finishIngest(sampled, obsStart, th)
+		return
+	}
+	if s.cfg.SerializeChannels {
+		// §7 MAC extension: one transmission at a time per channel. The
+		// broadcast occupies the medium once, sized for its slowest
+		// receiver; everyone hears it when the airtime ends. The airtime
+		// map is deliberately server-global: a channel is one shared
+		// medium regardless of which shards its listeners live on.
+		s.chanMu.Lock()
+		txStart := pkt.Stamp
+		if free := s.chanFree[pkt.Channel]; free > txStart {
+			txStart = free
+		}
+		txEnd := txStart.Add(maxTx)
+		s.chanFree[pkt.Channel] = txEnd
+		s.chanMu.Unlock()
+		for i, k := range kept {
+			due := txEnd.Add(k.delay)
+			if due < now {
+				due = now
+			}
+			it := sched.Item{Due: due, To: k.to, Pkt: pkt}
+			if i == 0 {
+				it.Trace = th // one target completes the record
+			}
+			s.shardOf(k.to).push(it)
+		}
+		if sampled {
+			s.hIngest.Observe(time.Since(obsStart))
+		}
+		return
+	}
+	for i, k := range kept {
+		// The paper's base formula: t_forward = t_receipt + delay +
+		// size/bandwidth, per destination, independently.
+		due := pkt.Stamp.Add(k.delay + k.tx)
+		if due < now {
+			due = now // cannot ship into the past
+		}
+		// Step 4: into the destination shard's schedule. A broadcast's
+		// trace handle rides only the first kept target, so exactly one
+		// delivery commits it.
+		it := sched.Item{Due: due, To: k.to, Pkt: pkt}
+		if i == 0 {
+			it.Trace = th
+		}
+		s.shardOf(k.to).push(it)
+	}
+	if sampled {
+		s.hIngest.Observe(time.Since(obsStart))
+	}
+}
+
+// finishIngest closes out a sampled packet that left the pipeline at
+// ingest (no route, or every target lost the link-model roll): the
+// total-ingest histogram still gets its observation and the trace slot
+// is released. No-op for unsampled packets.
+func (s *Server) finishIngest(sampled bool, obsStart time.Time, th uint32) {
+	if !sampled {
+		return
+	}
+	s.hIngest.Observe(time.Since(obsStart))
+	if th != 0 {
+		s.tracer.Release(th)
+	}
+}

@@ -59,7 +59,11 @@ func rawSession(t *testing.T, lis *transport.InprocListener, id radio.NodeID) tr
 // received Seq sequence must be strictly increasing — the old
 // goroutine-per-packet path raced concurrent sends and reordered them.
 func TestDeliveryOrderMatchesSchedule(t *testing.T) {
-	r := newRig(t, nil)
+	forEachShardCount(t, testDeliveryOrderMatchesSchedule)
+}
+
+func testDeliveryOrderMatchesSchedule(t *testing.T, shards int) {
+	r := newRig(t, func(c *ServerConfig) { c.Shards = shards })
 	r.scene.SetLinkModel(1, uniformModel(time.Millisecond))
 	r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
 	r.scene.AddNode(2, geom.V(50, 0), oneRadio(1, 200))
@@ -111,7 +115,11 @@ func TestDeliveryOrderMatchesSchedule(t *testing.T) {
 // radios notifications. Under the old shared event loop, one blocked
 // conn.Send stalled scene events for every client.
 func TestSlowClientDoesNotStallOthers(t *testing.T) {
-	r := newRig(t, func(c *ServerConfig) { c.SendQueueDepth = 8 })
+	forEachShardCount(t, testSlowClientDoesNotStallOthers)
+}
+
+func testSlowClientDoesNotStallOthers(t *testing.T, shards int) {
+	r := newRig(t, func(c *ServerConfig) { c.SendQueueDepth = 8; c.Shards = shards })
 	r.scene.SetLinkModel(1, uniformModel(0))
 	r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
 	r.scene.AddNode(2, geom.V(50, 0), oneRadio(1, 200))
@@ -160,6 +168,17 @@ func TestSlowClientDoesNotStallOthers(t *testing.T) {
 	if rs := c3.Radios(); len(rs) != 1 || rs[0].Channel != 7 {
 		t.Fatalf("healthy client starved of radios event: %v", rs)
 	}
+	// Let the scanner fire the whole flood before sampling: mid-flood
+	// the writer can transiently drain the queue into the transport
+	// buffer, but once every delivery has fired the wedged session's
+	// queue is pinned full (writer blocked, drop-oldest engaged).
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for r.server.Stats().Scheduled > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sch := r.server.Stats().Scheduled; sch > 0 {
+		t.Fatalf("schedule never drained: %d pending", sch)
+	}
 	// Per-session accounting: the wedged session owns the drops and
 	// reports a backed-up queue.
 	for _, ss := range r.server.SessionStats() {
@@ -183,7 +202,11 @@ func TestSlowClientDoesNotStallOthers(t *testing.T) {
 // O(in-flight packets): the old path parked one goroutine per delivery
 // on the wedged connection's write lock.
 func TestGoroutineCountBounded(t *testing.T) {
-	r := newRig(t, func(c *ServerConfig) { c.SendQueueDepth = 16 })
+	forEachShardCount(t, testGoroutineCountBounded)
+}
+
+func testGoroutineCountBounded(t *testing.T, shards int) {
+	r := newRig(t, func(c *ServerConfig) { c.SendQueueDepth = 16; c.Shards = shards })
 	r.scene.SetLinkModel(1, uniformModel(0))
 	r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
 	r.scene.AddNode(2, geom.V(50, 0), oneRadio(1, 200))

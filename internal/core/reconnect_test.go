@@ -40,7 +40,11 @@ func waitReaped(t *testing.T, srv *Server, id radio.NodeID) {
 // covers the windows where VMN 2 had no session), the obs registry must
 // agree with the stats snapshot, and no session goroutines may leak.
 func TestReconnectMidBurstLedgerAndGoroutines(t *testing.T) {
-	r := newRig(t, nil)
+	forEachShardCount(t, testReconnectMidBurstLedgerAndGoroutines)
+}
+
+func testReconnectMidBurstLedgerAndGoroutines(t *testing.T, shards int) {
+	r := newRig(t, func(c *ServerConfig) { c.Shards = shards })
 	r.scene.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
 	r.scene.AddNode(2, geom.V(50, 0), oneRadio(1, 200))
 	c1 := r.client(1, nil)

@@ -1,0 +1,187 @@
+package core
+
+// Session lifecycle: the Hello/HelloAck handshake, the per-session
+// reader loop, and registration into the owning shard's slice of the
+// session registry.
+//
+// Lock ordering (the only place two locks nest): Server.mu is acquired
+// BEFORE shard.mu, never the other way around. Server.mu orders
+// registration against Close (the closed flag and the writer
+// WaitGroup); the shard lock guards only that shard's session map.
+// Everything that aggregates across shards — Stats, SessionStats, the
+// poem_clients gauge, Quiesce — takes one shard lock at a time and
+// never holds two together, so a scrape can never convoy every shard
+// at once and the ordering above is trivially deadlock-free.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// session is one connected emulation client. All traffic toward the
+// client funnels through q, drained by a single writer goroutine
+// (sessionWriter), so deliveries and scene notifications leave in
+// order and a stalled client blocks only its own writer.
+type session struct {
+	id   radio.NodeID
+	conn transport.Conn
+	rng  *rand.Rand // scheduling-thread die, per session
+
+	q        *sendQueue    // bounded outbound queue, FIFO
+	stop     chan struct{} // closed when the session ends
+	stopOnce sync.Once
+
+	// kept is ingest's scratch buffer for the surviving targets of one
+	// packet, reused across packets so the steady-state forwarding path
+	// performs no per-packet allocation. Only the session's own reader
+	// goroutine touches it.
+	kept []keptTarget
+
+	received  atomic.Uint64 // packets this client sent us
+	forwarded atomic.Uint64 // packets we delivered to this client
+
+	// obsTick is the sampling countdown for stage timing/tracing. Only
+	// the session's own reader goroutine touches it (same confinement as
+	// kept), so the gate costs no contended atomic on the hot path.
+	obsTick uint32
+}
+
+// keptTarget is one link-model survivor of a dispatch: the receiver and
+// its latency components (§3.2 step 3).
+type keptTarget struct {
+	to    radio.NodeID
+	delay time.Duration
+	tx    time.Duration
+}
+
+// shutdown ends the session's writer. Safe to call more than once.
+func (sess *session) shutdown() {
+	sess.stopOnce.Do(func() { close(sess.stop) })
+	sess.q.close()
+}
+
+// handle runs one client session from Hello to disconnect.
+func (s *Server) handle(conn transport.Conn) {
+	defer conn.Close()
+	sess, err := s.register(conn)
+	if err != nil {
+		conn.Send(&wire.Bye{Reason: err.Error()})
+		return
+	}
+	defer func() {
+		sess.shutdown()
+		s.shardOf(sess.id).reap(sess)
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return // EOF or broken pipe: the client is gone
+		}
+		switch msg := m.(type) {
+		case *wire.SyncReq:
+			// Figure 5 steps 2–3: stamp receipt, reply with send time.
+			ts2 := s.cfg.Clock.Now()
+			conn.Send(&wire.SyncReply{TC1: msg.TC1, TS2: ts2, TS3: s.cfg.Clock.Now()})
+		case *wire.Data:
+			s.ingest(sess, msg.Pkt)
+		case *wire.Bye:
+			return
+		default:
+			// Unknown-but-decodable messages are ignored; forward
+			// compatibility for newer clients.
+		}
+	}
+}
+
+// register performs the Hello/HelloAck handshake and binds the session
+// to a VMN on its owning shard.
+func (s *Server) register(conn transport.Conn) (*session, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("core: handshake: %w", err)
+	}
+	hello, ok := m.(*wire.Hello)
+	if !ok {
+		return nil, fmt.Errorf("core: expected Hello, got %v", m.Type())
+	}
+	if hello.Ver != wire.Version {
+		return nil, fmt.Errorf("core: protocol version %d unsupported", hello.Ver)
+	}
+	id := hello.ProposedID
+	if id == radio.Broadcast {
+		return nil, errors.New("core: client must propose a concrete VMN id")
+	}
+	if !s.cfg.Scene.HasNode(id) {
+		if !s.cfg.AutoCreateNodes {
+			return nil, fmt.Errorf("core: unknown VMN %v", id)
+		}
+		if err := s.cfg.Scene.AddNode(id, geomOrigin, nil); err != nil {
+			return nil, err
+		}
+	}
+	sess := &session{
+		id:   id,
+		conn: conn,
+		rng:  rand.New(rand.NewSource(s.cfg.Seed ^ int64(id)<<17 ^ 0x9e3779b9)),
+		q:    newSendQueue(s.cfg.SendQueueDepth, s.mQueueDrops, s.mAbandoned, s.tracer),
+		stop: make(chan struct{}),
+	}
+	// Insertion nests the shard lock inside Server.mu (the one permitted
+	// nesting, see the ordering note above): the closed check and the
+	// insert must be one atomic step against Close, or a session could
+	// register after Close collected the shard maps and never be shut
+	// down.
+	sh := s.shardOf(id)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("core: server closed")
+	}
+	sh.mu.Lock()
+	if _, dup := sh.sessions[id]; dup {
+		sh.mu.Unlock()
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: VMN %v already connected", id)
+	}
+	sh.sessions[id] = sess
+	sh.mu.Unlock()
+	s.mu.Unlock()
+	if err := conn.Send(&wire.HelloAck{Assigned: id, ServerNow: s.cfg.Clock.Now()}); err != nil {
+		// The slot is released only if it is still ours: the client may
+		// already have given up and reconnected, and that fresh session
+		// must not be evicted by our stale cleanup.
+		sh.reap(sess)
+		return nil, err
+	}
+	// The writer starts only after the HelloAck is on the wire — the
+	// client's Dial expects it as the first reply, before any queued
+	// event. wg.Add must not race Close's wg.Wait; both are ordered by
+	// s.mu and the closed flag (Close, once it holds the lock with
+	// closed set, has already collected this session for conn.Close).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.shutdown()
+		return nil, errors.New("core: server closed")
+	}
+	s.wg.Add(1)
+	go s.sessionWriter(sess)
+	s.mu.Unlock()
+	// Tell the client its current radio set, through the queue so a
+	// concurrent live change cannot overtake it. The scene is read
+	// *after* the session is visible to the event subscription: any
+	// change this read misses is already queued behind, or emitted
+	// after, what we enqueue here, so the client always ends current.
+	if n, ok := s.cfg.Scene.Node(id); ok && len(n.Radios) > 0 {
+		sess.q.push(outMsg{kind: outRadios, radios: append([]radio.Radio(nil), n.Radios...)})
+	}
+	return sess, nil
+}

@@ -17,34 +17,38 @@
 //  3. roll the link model's drop die; for kept packets compute
 //     t_forward = t_receipt + delay + packet_size/bandwidth, where
 //     t_receipt is the *client's* parallel timestamp
-//  4. list the packet into the schedule
-//  5. a scanning goroutine watches the schedule
+//  4. list the packet into the schedule of the shard owning the
+//     destination (the core runs ServerConfig.Shards independent
+//     pipelines; sessions are hashed onto shards by VMN id, see
+//     shard.go)
+//  5. each shard's scanning goroutine watches its own schedule
 //  6. a sending goroutine ships the packet at t_forward — here one
 //     dedicated writer per session draining a bounded FIFO queue, so
 //     deliveries to a client leave in schedule order and a slow client
 //     backpressures only itself (see sessionWriter / sendQueue)
 //  7. recording goroutines log every packet and scene change
+//
+// The implementation is split by pipeline role: shard.go (the per-shard
+// pipeline and the routing rule), registry.go (session lifecycle),
+// ingest.go (steps 1–4), delivery.go (steps 5–6), lifecycle.go
+// (Start/Serve/Close/Quiesce and the cross-shard aggregators). This
+// file holds the configuration and assembly.
 package core
 
 import (
 	"errors"
-	"fmt"
-	"math/rand"
 	"runtime"
-	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/linkmodel"
 	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
 	"repro/internal/sched"
-	"repro/internal/transport"
 	"repro/internal/vclock"
-	"repro/internal/wire"
 )
 
 // ServerConfig configures an emulation server.
@@ -57,7 +61,21 @@ type ServerConfig struct {
 	// Store receives packet and scene records; nil disables recording.
 	Store *record.Store
 	// Queue is the forwarding schedule; defaults to sched.NewHeap().
+	// One Queue instance backs exactly one shard's scanner, so setting
+	// Queue pins the server to a single shard (Shards left zero) and is
+	// an error with an explicit Shards > 1 — use QueueFactory there.
 	Queue sched.Queue
+	// QueueFactory builds one forwarding schedule per shard. nil means
+	// a fresh sched.NewHeap() per shard.
+	QueueFactory func() sched.Queue
+	// Shards is how many independent pipeline shards the core runs:
+	// each shard owns a slice of the session registry, its own schedule
+	// and scanner, and its own obs instruments (see shard.go). Zero
+	// selects DefaultShards() — min(GOMAXPROCS, 8) — unless Queue is
+	// set, which implies 1. One shard preserves the pre-sharding
+	// behavior exactly and is the ablation baseline. Negative is an
+	// error.
+	Shards int
 	// Seed feeds the link-model dice.
 	Seed int64
 	// TickStep is the mobility tick cadence; default 100 ms emulated.
@@ -142,15 +160,37 @@ const DefaultObsSampleEvery = 64
 // schedule.
 const DefaultMaxStampSkew = time.Second
 
-// Server is the PoEm emulation server.
-type Server struct {
-	cfg     ServerConfig
-	scanner *sched.Scanner
-	ticker  *scene.Ticker
+// MaxDefaultShards caps the automatic shard count: past a handful of
+// shards the pipeline is no longer scanner-bound and more wheels only
+// cost goroutines and timers.
+const MaxDefaultShards = 8
 
-	mu       sync.Mutex
-	sessions map[radio.NodeID]*session
-	closed   bool
+// DefaultShards is the shard count used when ServerConfig.Shards is
+// zero and no single-shard Queue is supplied: min(GOMAXPROCS, 8).
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxDefaultShards {
+		n = MaxDefaultShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Server is the PoEm emulation server: a thin front (accept, register,
+// route, aggregate) over ServerConfig.Shards independent forwarding
+// pipelines.
+type Server struct {
+	cfg    ServerConfig
+	shards []*shard
+	ticker *scene.Ticker
+
+	// mu guards closed, ticker, and the wg.Add-vs-Wait ordering (see
+	// register and Close). It is a front-door lock only: the packet hot
+	// path — ingest, schedule push, deliver, write — never takes it.
+	mu     sync.Mutex
+	closed bool
 
 	ingressMu sync.Mutex // serial-ingress baseline
 	wg        sync.WaitGroup
@@ -176,11 +216,8 @@ type Server struct {
 	mAbandoned    *obs.Counter // scheduled deliveries that died with their session
 
 	// deliverHook, when set, observes every schedule departure on the
-	// scanner goroutine, in fire order, before the delivery is routed to
-	// its session. The chaos harness uses it as the FIFO-order oracle:
-	// a client's received sequence must be a subsequence of the hook's
-	// sequence projected onto that destination. Test-only surface; the
-	// hook must not block.
+	// firing shard's scanner goroutine, in fire order, before the
+	// delivery is routed to its session (see SetDeliverHook).
 	deliverHook atomic.Pointer[func(sched.Item)]
 
 	hIngest     *obs.Histogram // wall ns: ingest entry → scheduled
@@ -211,50 +248,8 @@ type ServerStats struct {
 	//   Entered == Forwarded + QueueDrops + Abandoned + still-queued.
 	Entered   uint64
 	Abandoned uint64
-	Clients   int // connected sessions
-	Scheduled int // schedule depth right now
-}
-
-// session is one connected emulation client. All traffic toward the
-// client funnels through q, drained by a single writer goroutine
-// (sessionWriter), so deliveries and scene notifications leave in
-// order and a stalled client blocks only its own writer.
-type session struct {
-	id   radio.NodeID
-	conn transport.Conn
-	rng  *rand.Rand // scheduling-thread die, per session
-
-	q        *sendQueue    // bounded outbound queue, FIFO
-	stop     chan struct{} // closed when the session ends
-	stopOnce sync.Once
-
-	// kept is ingest's scratch buffer for the surviving targets of one
-	// packet, reused across packets so the steady-state forwarding path
-	// performs no per-packet allocation. Only the session's own reader
-	// goroutine touches it.
-	kept []keptTarget
-
-	received  atomic.Uint64 // packets this client sent us
-	forwarded atomic.Uint64 // packets we delivered to this client
-
-	// obsTick is the sampling countdown for stage timing/tracing. Only
-	// the session's own reader goroutine touches it (same confinement as
-	// kept), so the gate costs no contended atomic on the hot path.
-	obsTick uint32
-}
-
-// keptTarget is one link-model survivor of a dispatch: the receiver and
-// its latency components (§3.2 step 3).
-type keptTarget struct {
-	to    radio.NodeID
-	delay time.Duration
-	tx    time.Duration
-}
-
-// shutdown ends the session's writer. Safe to call more than once.
-func (sess *session) shutdown() {
-	sess.stopOnce.Do(func() { close(sess.stop) })
-	sess.q.close()
+	Clients   int // connected sessions, summed across shards
+	Scheduled int // schedule depth right now, summed across shards
 }
 
 // NewServer validates the configuration and assembles a server.
@@ -265,18 +260,42 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Scene == nil {
 		return nil, errors.New("core: ServerConfig.Scene is required")
 	}
-	if cfg.Queue == nil {
-		cfg.Queue = sched.NewHeap()
+	if cfg.Shards < 0 {
+		return nil, errors.New("core: ServerConfig.Shards must not be negative")
+	}
+	if cfg.Shards == 0 {
+		if cfg.Queue != nil {
+			cfg.Shards = 1 // a caller-supplied Queue backs exactly one scanner
+		} else {
+			cfg.Shards = DefaultShards()
+		}
+	}
+	if cfg.Shards > 1 && cfg.Queue != nil {
+		return nil, errors.New("core: ServerConfig.Queue is single-shard; use QueueFactory with Shards > 1")
 	}
 	if cfg.TickStep <= 0 {
 		cfg.TickStep = 100 * time.Millisecond
 	}
 	s := &Server{
 		cfg:      cfg,
-		sessions: make(map[radio.NodeID]*session),
 		chanFree: make(map[radio.ChannelID]vclock.Time),
 	}
-	s.scanner = sched.NewScanner(cfg.Queue, cfg.Clock, s.deliver)
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		var q sched.Queue
+		switch {
+		case cfg.Queue != nil:
+			q = cfg.Queue
+		case cfg.QueueFactory != nil:
+			q = cfg.QueueFactory()
+		default:
+			q = sched.NewHeap()
+		}
+		if q == nil {
+			return nil, errors.New("core: ServerConfig.QueueFactory returned a nil queue")
+		}
+		s.shards[i] = newShard(i, s, q)
+	}
 	s.instrument(cfg)
 	if cfg.Store != nil {
 		cfg.Scene.Subscribe(func(e scene.Event) {
@@ -297,9 +316,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		if e.Kind != scene.RadiosChanged {
 			return
 		}
-		s.mu.Lock()
-		sess := s.sessions[e.Node]
-		s.mu.Unlock()
+		sess := s.shardOf(e.Node).lookup(e.Node)
 		if sess == nil {
 			return
 		}
@@ -313,8 +330,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // instrument wires the server onto its metrics registry and tracer
 // (creating private ones when the config supplies none) and registers
-// every counter, gauge and stage histogram. Gauge callbacks run at
-// scrape time only and may take the server mutex.
+// every counter, gauge and stage histogram — including one instrument
+// set per shard, named with an embedded shard label (obs.Labeled).
+// Gauge callbacks run at scrape time only; the cross-shard aggregates
+// visit one shard lock at a time.
 func (s *Server) instrument(cfg ServerConfig) {
 	reg := cfg.Obs
 	if reg == nil {
@@ -342,16 +361,37 @@ func (s *Server) instrument(cfg ServerConfig) {
 	s.hDeliverLag = reg.Histogram("poem_deliver_lag_ns", "emulation time a departure fired past its scheduled due time (sampled)")
 
 	reg.Gauge("poem_clients", "connected sessions", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(len(s.sessions))
+		n := 0
+		for _, sh := range s.shards { // one shard lock at a time
+			n += sh.clients()
+		}
+		return float64(n)
 	})
 	reg.Gauge("poem_scheduled", "forwarding schedule depth", func() float64 {
-		return float64(s.scanner.Pending())
+		n := 0
+		for _, sh := range s.shards {
+			n += sh.scanner.Pending()
+		}
+		return float64(n)
 	})
 	reg.Gauge("poem_clock_seconds", "server emulation clock", func() float64 {
 		return float64(s.cfg.Clock.Now()) / 1e9
 	})
+	reg.Gauge("poem_shards", "independent pipeline shards", func() float64 {
+		return float64(len(s.shards))
+	})
+	for _, sh := range s.shards {
+		sh := sh
+		idx := strconv.Itoa(sh.idx)
+		sh.entered = reg.Counter(obs.Labeled("poem_shard_entries_total", "shard", idx),
+			"deliveries listed into this shard's schedule")
+		reg.CounterFunc(obs.Labeled("poem_shard_dispatched_total", "shard", idx),
+			"deliveries fired by this shard's scanner", sh.scanner.Dispatched)
+		reg.Gauge(obs.Labeled("poem_shard_scheduled", "shard", idx),
+			"this shard's schedule depth", func() float64 { return float64(sh.scanner.Pending()) })
+		reg.Gauge(obs.Labeled("poem_shard_clients", "shard", idx),
+			"sessions registered on this shard", func() float64 { return float64(sh.clients()) })
+	}
 
 	cfg.Scene.Instrument(reg)
 	if cfg.Store != nil {
@@ -374,613 +414,3 @@ func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Tracer returns the server's packet-lifecycle tracer.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
-
-// Start launches the scanner and mobility ticker. Serve calls it
-// implicitly; call it directly when driving sessions by hand in tests.
-func (s *Server) Start() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ticker != nil {
-		return
-	}
-	s.scanner.Start()
-	s.ticker = scene.StartTicker(s.cfg.Scene, s.cfg.Clock, s.cfg.TickStep)
-}
-
-// Serve accepts connections until the listener closes. It always
-// returns a non-nil error (ErrClosed-like on orderly shutdown).
-func (s *Server) Serve(l transport.Listener) error {
-	s.Start()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			return err
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return errors.New("core: server closed")
-		}
-		s.wg.Add(1)
-		s.mu.Unlock()
-		go func() {
-			defer s.wg.Done()
-			s.handle(conn)
-		}()
-	}
-}
-
-// Close stops the scanner, ticker and every session.
-func (s *Server) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.closed = true
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	ticker := s.ticker
-	s.mu.Unlock()
-	// Ordering: cut the connections first (unblocks session readers and
-	// any writer mid-Send), let every handler and writer goroutine
-	// drain, and only then stop the scanner and ticker — a scanner
-	// dispatch into a closing session is harmless (its queue rejects
-	// pushes once closed), but stopping the scanner before the writers
-	// exit would abandon in-flight sends.
-	for _, sess := range sessions {
-		sess.shutdown()
-		sess.conn.Close()
-	}
-	s.wg.Wait()
-	s.scanner.Stop()
-	if ticker != nil {
-		ticker.Stop()
-	}
-}
-
-// Stats returns a snapshot of the server counters.
-func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	clients := len(s.sessions)
-	s.mu.Unlock()
-	return ServerStats{
-		Received:     s.mReceived.Load(),
-		Forwarded:    s.mForwarded.Load(),
-		Dropped:      s.mDropped.Load(),
-		NoRoute:      s.mNoRoute.Load(),
-		QueueDrops:   s.mQueueDrops.Load(),
-		StampClamped: s.mStampClamped.Load(),
-		Entered:      s.mEntered.Load(),
-		Abandoned:    s.mAbandoned.Load(),
-		Clients:      clients,
-		Scheduled:    s.scanner.Pending(),
-	}
-}
-
-// SetDeliverHook installs (or, with nil, removes) a callback observing
-// every schedule departure in fire order, on the scanner goroutine.
-// Test-only: the chaos harness derives its per-destination FIFO oracle
-// from it. The hook must return quickly — it runs inside the scanner's
-// dispatch, ahead of every queued delivery.
-func (s *Server) SetDeliverHook(fn func(sched.Item)) {
-	if fn == nil {
-		s.deliverHook.Store(nil)
-		return
-	}
-	s.deliverHook.Store(&fn)
-}
-
-// Quiesce blocks until the forwarding pipeline has drained — no items
-// in the schedule (including one mid-dispatch) and no entries in any
-// session's send queue (including one mid-send) — and reports whether
-// that state was reached within timeout. It does not pause ingest:
-// callers quiesce after their traffic sources have stopped. The chaos
-// harness checks invariants only at quiesced points, where the
-// conservation ledger must balance exactly.
-func (s *Server) Quiesce(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		drained := s.scanner.Pending() == 0
-		if drained {
-			s.mu.Lock()
-			for _, sess := range s.sessions {
-				if sess.q.depth() != 0 {
-					drained = false
-					break
-				}
-			}
-			s.mu.Unlock()
-		}
-		if drained {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-}
-
-// Now returns the server emulation clock reading.
-func (s *Server) Now() vclock.Time { return s.cfg.Clock.Now() }
-
-// SessionStat is one connected client's traffic counters.
-type SessionStat struct {
-	ID        radio.NodeID
-	Received  uint64 // packets the client sent to the server
-	Forwarded uint64 // packets the server delivered to the client
-	// QueueDrops counts deliveries to this client discarded by the
-	// slow-client policy; QueueDepth is its send queue's depth right
-	// now. A persistently deep queue marks a client that cannot keep up
-	// with its offered load.
-	QueueDrops uint64
-	QueueDepth int
-}
-
-// SessionStats snapshots per-client counters, sorted by VMN id.
-func (s *Server) SessionStats() []SessionStat {
-	s.mu.Lock()
-	out := make([]SessionStat, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		out = append(out, SessionStat{
-			ID:         sess.id,
-			Received:   sess.received.Load(),
-			Forwarded:  sess.forwarded.Load(),
-			QueueDrops: sess.q.drops.Load(),
-			QueueDepth: sess.q.depth(),
-		})
-	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// handle runs one client session from Hello to disconnect.
-func (s *Server) handle(conn transport.Conn) {
-	defer conn.Close()
-	sess, err := s.register(conn)
-	if err != nil {
-		conn.Send(&wire.Bye{Reason: err.Error()})
-		return
-	}
-	defer func() {
-		sess.shutdown()
-		s.mu.Lock()
-		if s.sessions[sess.id] == sess {
-			delete(s.sessions, sess.id)
-		}
-		s.mu.Unlock()
-	}()
-	for {
-		m, err := conn.Recv()
-		if err != nil {
-			return // EOF or broken pipe: the client is gone
-		}
-		switch msg := m.(type) {
-		case *wire.SyncReq:
-			// Figure 5 steps 2–3: stamp receipt, reply with send time.
-			ts2 := s.cfg.Clock.Now()
-			conn.Send(&wire.SyncReply{TC1: msg.TC1, TS2: ts2, TS3: s.cfg.Clock.Now()})
-		case *wire.Data:
-			s.ingest(sess, msg.Pkt)
-		case *wire.Bye:
-			return
-		default:
-			// Unknown-but-decodable messages are ignored; forward
-			// compatibility for newer clients.
-		}
-	}
-}
-
-// register performs the Hello/HelloAck handshake and binds the session
-// to a VMN.
-func (s *Server) register(conn transport.Conn) (*session, error) {
-	m, err := conn.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("core: handshake: %w", err)
-	}
-	hello, ok := m.(*wire.Hello)
-	if !ok {
-		return nil, fmt.Errorf("core: expected Hello, got %v", m.Type())
-	}
-	if hello.Ver != wire.Version {
-		return nil, fmt.Errorf("core: protocol version %d unsupported", hello.Ver)
-	}
-	id := hello.ProposedID
-	if id == radio.Broadcast {
-		return nil, errors.New("core: client must propose a concrete VMN id")
-	}
-	if !s.cfg.Scene.HasNode(id) {
-		if !s.cfg.AutoCreateNodes {
-			return nil, fmt.Errorf("core: unknown VMN %v", id)
-		}
-		if err := s.cfg.Scene.AddNode(id, geomOrigin, nil); err != nil {
-			return nil, err
-		}
-	}
-	sess := &session{
-		id:   id,
-		conn: conn,
-		rng:  rand.New(rand.NewSource(s.cfg.Seed ^ int64(id)<<17 ^ 0x9e3779b9)),
-		q:    newSendQueue(s.cfg.SendQueueDepth, s.mQueueDrops, s.mAbandoned, s.tracer),
-		stop: make(chan struct{}),
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, errors.New("core: server closed")
-	}
-	if _, dup := s.sessions[id]; dup {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("core: VMN %v already connected", id)
-	}
-	s.sessions[id] = sess
-	s.mu.Unlock()
-	if err := conn.Send(&wire.HelloAck{Assigned: id, ServerNow: s.cfg.Clock.Now()}); err != nil {
-		// The slot is released only if it is still ours: the client may
-		// already have given up and reconnected, and that fresh session
-		// must not be evicted by our stale cleanup.
-		s.mu.Lock()
-		if s.sessions[id] == sess {
-			delete(s.sessions, id)
-		}
-		s.mu.Unlock()
-		return nil, err
-	}
-	// The writer starts only after the HelloAck is on the wire — the
-	// client's Dial expects it as the first reply, before any queued
-	// event. wg.Add must not race Close's wg.Wait; both are ordered by
-	// s.mu and the closed flag (Close, once it holds the lock with
-	// closed set, has already collected this session for conn.Close).
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		sess.shutdown()
-		return nil, errors.New("core: server closed")
-	}
-	s.wg.Add(1)
-	go s.sessionWriter(sess)
-	s.mu.Unlock()
-	// Tell the client its current radio set, through the queue so a
-	// concurrent live change cannot overtake it. The scene is read
-	// *after* the session is visible to the event subscription: any
-	// change this read misses is already queued behind, or emitted
-	// after, what we enqueue here, so the client always ends current.
-	if n, ok := s.cfg.Scene.Node(id); ok && len(n.Radios) > 0 {
-		sess.q.push(outMsg{kind: outRadios, radios: append([]radio.Radio(nil), n.Radios...)})
-	}
-	return sess, nil
-}
-
-// ingest is §3.2 steps 1–4 for one received packet.
-func (s *Server) ingest(sess *session, pkt wire.Packet) {
-	// The received counters commit last, once every schedule entry and
-	// record row for this packet exists: "Received == packets the wire
-	// delivered" then implies no ingest is still mid-flight, which is
-	// what lets a drained pipeline be checked with exact equalities
-	// instead of retry heuristics (see Quiesce and internal/chaos).
-	defer func() {
-		s.mReceived.Inc()
-		sess.received.Add(1)
-	}()
-	// Sampling gate: one atomic load; the countdown itself is confined
-	// to this session's reader goroutine. Sampled packets pay the
-	// time.Now reads, histogram adds and a tracer slot; everything else
-	// skips the entire instrumentation below.
-	sampled := false
-	var obsStart time.Time
-	if se := s.sampleEvery.Load(); se != 0 {
-		sess.obsTick++
-		if sess.obsTick >= se {
-			sess.obsTick = 0
-			sampled = true
-			obsStart = time.Now()
-		}
-	}
-	if s.cfg.SerialIngress {
-		// The centralized baseline: every packet crosses one interface
-		// and is processed serially before the next can be stamped.
-		s.ingressMu.Lock()
-		if s.cfg.IngressDelay > 0 {
-			time.Sleep(s.cfg.IngressDelay)
-		}
-		if s.cfg.StampAtServer {
-			pkt.Stamp = s.cfg.Clock.Now()
-		}
-		s.ingressMu.Unlock()
-	} else if s.cfg.StampAtServer {
-		pkt.Stamp = s.cfg.Clock.Now()
-	}
-	now := s.cfg.Clock.Now()
-	if pkt.Src != sess.id {
-		pkt.Src = sess.id // a VMN cannot spoof another's traffic
-	}
-	// Parallel stamps are trusted for accuracy (§4.1), not unboundedly:
-	// a client clock running ahead of every honest sync error would
-	// otherwise list its packets arbitrarily deep into the schedule's
-	// future. Late stamps need no clamp — the `due < now` floor below
-	// already keeps them from shipping into the past.
-	if maxSkew := s.cfg.MaxStampSkew; maxSkew >= 0 {
-		if maxSkew == 0 {
-			maxSkew = DefaultMaxStampSkew
-		}
-		if horizon := now.Add(maxSkew); pkt.Stamp > horizon {
-			pkt.Stamp = horizon
-			s.mStampClamped.Inc()
-		}
-	}
-	if s.cfg.Store != nil {
-		s.cfg.Store.AddPacket(record.Packet{
-			Kind: record.PacketIn, At: now, Stamp: pkt.Stamp,
-			Src: pkt.Src, Dst: pkt.Dst, Channel: pkt.Channel,
-			Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
-		})
-	}
-	// Lifecycle trace: claim a slot for the sampled packet and seed the
-	// stages known here (the client's parallel stamp and our ingest
-	// time, both emulation ns). Later stages write through the handle.
-	var th uint32
-	if sampled {
-		th = s.tracer.Begin(obs.TraceRecord{
-			Src: uint32(pkt.Src), Dst: uint32(pkt.Dst),
-			Channel: uint16(pkt.Channel), Flow: pkt.Flow,
-			Seq: pkt.Seq, Size: uint32(pkt.Size()),
-			Stamp: int64(pkt.Stamp), Ingest: int64(now),
-		})
-	}
-	// Step 2: resolve NT(src, ch) and the channel's link model in one
-	// epoch-snapshot read — a single atomic load, no locks, no copies
-	// (scene.Dispatch). The row is shared with the snapshot and strictly
-	// read-only here. LockedDispatch is the ablation that answers the
-	// same questions through the scene mutex, twice.
-	var rows []radio.Neighbor
-	var model linkmodel.Model
-	if s.cfg.LockedDispatch {
-		rows = s.cfg.Scene.Neighbors(pkt.Src, pkt.Channel)
-		model = s.cfg.Scene.ModelFor(pkt.Channel)
-	} else {
-		rows, model = s.cfg.Scene.Dispatch(pkt.Src, pkt.Channel)
-	}
-	// Steps 2–3 fused: filter targets and roll the link-model die in one
-	// pass over the row. t_receipt is the client's parallel stamp
-	// (real-time recording), unless the baseline overrode it above. The
-	// survivors land in the session's reusable scratch buffer.
-	kept := sess.kept[:0]
-	matched := 0
-	var maxTx time.Duration
-	for _, nb := range rows {
-		if pkt.Dst != radio.Broadcast && pkt.Dst != nb.ID {
-			continue
-		}
-		matched++
-		dec := model.Evaluate(nb.Dist, pkt.Size(), sess.rng)
-		if dec.Drop {
-			s.mDropped.Inc()
-			if s.cfg.Store != nil {
-				s.cfg.Store.AddPacket(record.Packet{
-					Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
-					Src: pkt.Src, Dst: pkt.Dst, Relay: nb.ID, Channel: pkt.Channel,
-					Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
-				})
-			}
-			continue
-		}
-		kept = append(kept, keptTarget{to: nb.ID, delay: dec.Delay, tx: dec.TxTime})
-		if dec.TxTime > maxTx {
-			maxTx = dec.TxTime
-		}
-	}
-	sess.kept = kept
-	// Resolve stage done: dispatch view read, targets filtered, dice
-	// rolled. The histogram gets the wall cost, the trace the emulation
-	// timestamp.
-	if sampled {
-		s.hResolve.Observe(time.Since(obsStart))
-		if th != 0 {
-			s.tracer.Rec(th).Resolve = int64(s.cfg.Clock.Now())
-		}
-	}
-	if matched == 0 {
-		s.mNoRoute.Inc()
-		if s.cfg.Store != nil {
-			s.cfg.Store.AddPacket(record.Packet{
-				Kind: record.PacketDrop, At: now, Stamp: pkt.Stamp,
-				Src: pkt.Src, Dst: pkt.Dst, Relay: pkt.Dst, Channel: pkt.Channel,
-				Flow: pkt.Flow, Seq: pkt.Seq, Size: uint32(pkt.Size()),
-			})
-		}
-		s.finishIngest(sampled, obsStart, th)
-		return
-	}
-	if len(kept) == 0 {
-		s.finishIngest(sampled, obsStart, th)
-		return
-	}
-	if s.cfg.SerializeChannels {
-		// §7 MAC extension: one transmission at a time per channel. The
-		// broadcast occupies the medium once, sized for its slowest
-		// receiver; everyone hears it when the airtime ends.
-		s.chanMu.Lock()
-		txStart := pkt.Stamp
-		if free := s.chanFree[pkt.Channel]; free > txStart {
-			txStart = free
-		}
-		txEnd := txStart.Add(maxTx)
-		s.chanFree[pkt.Channel] = txEnd
-		s.chanMu.Unlock()
-		for i, k := range kept {
-			due := txEnd.Add(k.delay)
-			if due < now {
-				due = now
-			}
-			it := sched.Item{Due: due, To: k.to, Pkt: pkt}
-			if i == 0 {
-				it.Trace = th // one target completes the record
-			}
-			s.mEntered.Inc()
-			s.scanner.Push(it)
-		}
-		if sampled {
-			s.hIngest.Observe(time.Since(obsStart))
-		}
-		return
-	}
-	for i, k := range kept {
-		// The paper's base formula: t_forward = t_receipt + delay +
-		// size/bandwidth, per destination, independently.
-		due := pkt.Stamp.Add(k.delay + k.tx)
-		if due < now {
-			due = now // cannot ship into the past
-		}
-		// Step 4: into the schedule. A broadcast's trace handle rides
-		// only the first kept target, so exactly one delivery commits it.
-		it := sched.Item{Due: due, To: k.to, Pkt: pkt}
-		if i == 0 {
-			it.Trace = th
-		}
-		s.mEntered.Inc()
-		s.scanner.Push(it)
-	}
-	if sampled {
-		s.hIngest.Observe(time.Since(obsStart))
-	}
-}
-
-// finishIngest closes out a sampled packet that left the pipeline at
-// ingest (no route, or every target lost the link-model roll): the
-// total-ingest histogram still gets its observation and the trace slot
-// is released. No-op for unsampled packets.
-func (s *Server) finishIngest(sampled bool, obsStart time.Time, th uint32) {
-	if !sampled {
-		return
-	}
-	s.hIngest.Observe(time.Since(obsStart))
-	if th != 0 {
-		s.tracer.Release(th)
-	}
-}
-
-// deliver is §3.2 step 6: at the scheduled time the packet is handed
-// to the addressee's outbound queue. It runs on the scanner goroutine
-// and never blocks — the session's dedicated writer performs the
-// socket write, so the scanner cannot be stalled by a slow client and
-// the goroutine count stays O(connected clients) rather than
-// O(in-flight packets). Because the scanner fires items in due order
-// and the queue is FIFO, deliveries to a client leave in schedule
-// order (the old goroutine-per-packet send raced on the connection
-// lock and could reorder them).
-func (s *Server) deliver(it sched.Item) {
-	if h := s.deliverHook.Load(); h != nil {
-		(*h)(it)
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		if it.Trace != 0 {
-			s.tracer.Release(it.Trace)
-		}
-		s.mAbandoned.Inc()
-		return
-	}
-	sess := s.sessions[it.To]
-	s.mu.Unlock()
-	if sess == nil {
-		if it.Trace != 0 {
-			s.tracer.Release(it.Trace)
-		}
-		s.mAbandoned.Inc()
-		return // the client left between scheduling and departure
-	}
-	if sess.q.full() {
-		// Distinguish "the writer has not been scheduled yet" (a burst
-		// outran it — common on few cores) from "the client is wedged"
-		// (its writer is parked in conn.Send and not runnable). Yielding
-		// lets a healthy writer drain before we resort to dropping;
-		// against a wedged one the queue is still full afterwards and
-		// drop-oldest engages as intended.
-		runtime.Gosched()
-	}
-	// A traced item marks a sampled packet: time the enqueue stage and
-	// record how far past its due time the departure fired. If push
-	// rejects the entry, the queue releases the trace slot itself.
-	var t0 time.Time
-	if it.Trace != 0 {
-		t0 = time.Now()
-		nowEmu := s.cfg.Clock.Now()
-		s.hDeliverLag.Observe(time.Duration(nowEmu - it.Due))
-		s.tracer.Rec(it.Trace).Enqueue = int64(nowEmu)
-	}
-	sess.q.push(outMsg{kind: outData, pkt: it.Pkt, trace: it.Trace})
-	if it.Trace != 0 {
-		s.hEnqueue.Observe(time.Since(t0))
-	}
-}
-
-// sessionWriter is the per-session sending goroutine: it drains the
-// session's queue in FIFO order and performs the actual writes. One
-// writer per session means a wedged client backpressures only itself;
-// everyone else's writers keep draining.
-func (s *Server) sessionWriter(sess *session) {
-	defer s.wg.Done()
-	for {
-		m, ok := sess.q.pop(sess.stop)
-		if !ok {
-			return // session over; the queue accounted anything left
-		}
-		// A popped entry is "in flight" until its counters are settled —
-		// forwarded on success, abandoned on a failed data send — so a
-		// drain check never observes the gap between pop and accounting.
-		err := s.writeOut(sess, m)
-		sess.q.done()
-		if err != nil {
-			return
-		}
-	}
-}
-
-// writeOut ships one queue entry to the session's client and settles
-// its accounting. A send error abandons the entry (the session is dying
-// — the caller exits the writer).
-func (s *Server) writeOut(sess *session, m outMsg) error {
-	switch m.kind {
-	case outRadios:
-		if err := sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: m.radios}); err != nil {
-			return err
-		}
-	case outData:
-		var t0 time.Time
-		if m.trace != 0 {
-			t0 = time.Now()
-		}
-		if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
-			if m.trace != 0 {
-				s.tracer.Release(m.trace)
-			}
-			s.mAbandoned.Inc()
-			return err
-		}
-		if m.trace != 0 {
-			// Final stage: the packet is on the wire. Stamp it, name
-			// the concrete receiver, and commit the record.
-			s.hSend.Observe(time.Since(t0))
-			rec := s.tracer.Rec(m.trace)
-			rec.Send = int64(s.cfg.Clock.Now())
-			rec.Relay = uint32(sess.id)
-			s.tracer.Commit(m.trace)
-		}
-		s.mForwarded.Inc()
-		sess.forwarded.Add(1)
-		if s.cfg.Store != nil {
-			s.cfg.Store.AddPacket(record.Packet{
-				Kind: record.PacketOut, At: s.cfg.Clock.Now(), Stamp: m.pkt.Stamp,
-				Src: m.pkt.Src, Dst: m.pkt.Dst, Relay: sess.id, Channel: m.pkt.Channel,
-				Flow: m.pkt.Flow, Seq: m.pkt.Seq, Size: uint32(m.pkt.Size()),
-			})
-		}
-	}
-	return nil
-}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// ShardIndex is the routing layer's only rule; it must be total,
+// in-range, and deterministic, and it must not degenerate on strided
+// operator IDs (nodes numbered 0, 10, 20, … are the common case).
+func TestShardIndex(t *testing.T) {
+	for id := radio.NodeID(0); id < 300; id++ {
+		if got := ShardIndex(id, 1); got != 0 {
+			t.Fatalf("ShardIndex(%d, 1) = %d, want 0", id, got)
+		}
+		if got := ShardIndex(id, 0); got != 0 {
+			t.Fatalf("ShardIndex(%d, 0) = %d, want 0", id, got)
+		}
+		for _, n := range []int{2, 3, 4, 8} {
+			got := ShardIndex(id, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardIndex(%d, %d) = %d out of range", id, n, got)
+			}
+			if again := ShardIndex(id, n); again != got {
+				t.Fatalf("ShardIndex(%d, %d) unstable: %d then %d", id, n, got, again)
+			}
+		}
+	}
+	// Strided IDs must still spread: a plain id%n would pin stride-4
+	// IDs onto one shard at n=4.
+	hit := map[int]bool{}
+	for id := radio.NodeID(0); id < 64; id += 4 {
+		hit[ShardIndex(id, 4)] = true
+	}
+	if len(hit) < 3 {
+		t.Errorf("stride-4 IDs landed on only %d/4 shards", len(hit))
+	}
+}
+
+func shardTestScene() (*scene.Scene, vclock.WaitClock) {
+	clk := vclock.NewSystem(1)
+	return scene.New(radio.NewIndexed(16), clk, 1), clk
+}
+
+// Shard-count resolution: negative is an error, a caller-supplied Queue
+// pins one shard (and conflicts with an explicit Shards > 1), a
+// QueueFactory is invoked once per shard, and zero means DefaultShards.
+func TestServerConfigShardResolution(t *testing.T) {
+	sc, clk := shardTestScene()
+	if _, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Shards: -1}); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	if _, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Queue: discardQueue{}, Shards: 2}); err == nil {
+		t.Error("shared Queue across 2 shards accepted; one queue cannot back two scanners")
+	}
+	srv, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Queue: discardQueue{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Shards(); got != 1 {
+		t.Errorf("Queue-injected server runs %d shards, want 1", got)
+	}
+
+	made := 0
+	srv2, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Shards: 3,
+		QueueFactory: func() sched.Queue { made++; return sched.NewHeap() }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Shards() != 3 || made != 3 {
+		t.Errorf("QueueFactory server: %d shards, factory called %d times, want 3/3", srv2.Shards(), made)
+	}
+	if _, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Shards: 2,
+		QueueFactory: func() sched.Queue { return nil }}); err == nil {
+		t.Error("nil-returning QueueFactory accepted")
+	}
+
+	srv3, err := NewServer(ServerConfig{Clock: clk, Scene: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := srv3.Shards(), DefaultShards(); got != want {
+		t.Errorf("default shard count %d, want DefaultShards() = %d", got, want)
+	}
+}
+
+// crossShardIDs picks one VMN id per shard at the given count, so every
+// src→dst pair in the returned set crosses a shard boundary.
+func crossShardIDs(t *testing.T, shards int) []radio.NodeID {
+	t.Helper()
+	var ids []radio.NodeID
+	taken := make(map[int]bool, shards)
+	for id := radio.NodeID(1); int(id) <= 250 && len(ids) < shards; id++ {
+		if sh := ShardIndex(id, shards); !taken[sh] {
+			taken[sh] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) != shards {
+		t.Fatalf("could not find %d IDs on distinct shards in 1..250", shards)
+	}
+	return ids
+}
+
+// The hardest traffic pattern for the sharded core: all-pairs unicast
+// between nodes placed one per shard, so EVERY delivery is ingested on
+// one shard and scheduled on another. Per-(src,dst) FIFO must hold —
+// each destination's deliveries fire from exactly one scanner — and
+// after quiescing the conservation ledger must balance exactly with
+// zero drops and zero abandonments.
+func TestCrossShardAllPairsFIFOAndConservation(t *testing.T) {
+	const shards = 4
+	ids := crossShardIDs(t, shards)
+	for _, src := range ids {
+		for _, dst := range ids {
+			if src != dst && ShardIndex(src, shards) == ShardIndex(dst, shards) {
+				t.Fatalf("pair %d→%d does not cross shards", src, dst)
+			}
+		}
+	}
+
+	r := newRig(t, func(c *ServerConfig) { c.Shards = shards })
+	r.scene.SetLinkModel(1, uniformModel(time.Millisecond))
+	for i, id := range ids {
+		r.scene.AddNode(id, geom.V(float64(i)*10, 0), oneRadio(1, 500))
+	}
+
+	type recv struct {
+		mu    sync.Mutex
+		bySrc map[radio.NodeID][]uint32
+		total int
+	}
+	receivers := make(map[radio.NodeID]*recv, shards)
+	clients := make(map[radio.NodeID]*Client, shards)
+	for _, id := range ids {
+		rr := &recv{bySrc: map[radio.NodeID][]uint32{}}
+		receivers[id] = rr
+		c, err := Dial(ClientConfig{
+			ID: id, Dial: r.lis.Dialer(), LocalClock: r.clk,
+			OnPacket: func(p wire.Packet) {
+				rr.mu.Lock()
+				rr.bySrc[p.Src] = append(rr.bySrc[p.Src], p.Seq)
+				rr.total++
+				rr.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		clients[id] = c
+	}
+
+	const n = 100
+	for seq := uint32(1); seq <= n; seq++ {
+		for _, src := range ids {
+			for _, dst := range ids {
+				if src == dst {
+					continue
+				}
+				if err := clients[src].Send(wire.Packet{Dst: dst, Channel: 1, Seq: seq}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	sent := n * shards * (shards - 1)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		done := true
+		for _, rr := range receivers {
+			rr.mu.Lock()
+			got := rr.total
+			rr.mu.Unlock()
+			if got != n*(shards-1) {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for id, rr := range receivers {
+				rr.mu.Lock()
+				t.Logf("dst %d: %d/%d", id, rr.total, n*(shards-1))
+				rr.mu.Unlock()
+			}
+			t.Fatal("all-pairs traffic never fully delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !r.server.Quiesce(5 * time.Second) {
+		t.Fatalf("pipeline did not drain: %+v", r.server.Stats())
+	}
+
+	st := r.server.Stats()
+	if st.Received != uint64(sent) || st.Forwarded != uint64(sent) {
+		t.Errorf("received %d forwarded %d, want %d each", st.Received, st.Forwarded, sent)
+	}
+	if st.Entered != st.Forwarded || st.QueueDrops != 0 || st.Abandoned != 0 ||
+		st.Dropped != 0 || st.NoRoute != 0 {
+		t.Errorf("conservation violated: %+v", st)
+	}
+
+	for dst, rr := range receivers {
+		rr.mu.Lock()
+		for src, seqs := range rr.bySrc {
+			if len(seqs) != n {
+				t.Errorf("dst %d src %d: %d/%d delivered", dst, src, len(seqs), n)
+			}
+			for i := 1; i < len(seqs); i++ {
+				if seqs[i] <= seqs[i-1] {
+					t.Fatalf("dst %d src %d: seq %d after %d (cross-shard FIFO broken)",
+						dst, src, seqs[i], seqs[i-1])
+				}
+			}
+		}
+		rr.mu.Unlock()
+	}
+
+	// Each shard hosted exactly one session and did real work.
+	for _, ss := range r.server.ShardStats() {
+		if ss.Clients != 1 {
+			t.Errorf("shard %d: %d clients, want 1", ss.Shard, ss.Clients)
+		}
+		if ss.Entered == 0 || ss.Dispatched == 0 {
+			t.Errorf("shard %d idle: %+v", ss.Shard, ss)
+		}
+	}
+}

@@ -26,9 +26,30 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
+
+// Labeled builds a metric name carrying one Prometheus-style label,
+// e.g. Labeled("poem_shard_scheduled", "shard", "3") →
+// `poem_shard_scheduled{shard="3"}`. The registry treats the result as
+// an opaque name — each label value is its own instrument — but
+// WritePrometheus recognises the brace form, emitting the HELP/TYPE
+// header once per family and the samples with their labels intact. Use
+// it for small, fixed cardinalities (shard indices, not packet fields).
+func Labeled(name, key, value string) string {
+	return name + "{" + key + "=\"" + value + "\"}"
+}
+
+// familyName strips a Labeled suffix: the metric family the HELP/TYPE
+// exposition header names.
+func familyName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
 
 // Counter is a monotonically increasing metric. The zero value is
 // usable, but counters are normally obtained from Registry.Counter so

@@ -88,6 +88,49 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// Labeled metrics are one family: the exposition must emit HELP/TYPE
+// once per family with every labeled variant grouped under it, and the
+// un-suffixed family name must strip cleanly.
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	if got := Labeled("poem_shard_entries_total", "shard", "3"); got != `poem_shard_entries_total{shard="3"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	reg := NewRegistry()
+	for _, idx := range []string{"0", "1", "2"} {
+		reg.Counter(Labeled("poem_shard_entries_total", "shard", idx), "entries per shard").Inc()
+	}
+	reg.Counter("poem_plain_total", "unlabeled neighbor").Add(4)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "# TYPE poem_shard_entries_total counter"); got != 1 {
+		t.Errorf("family TYPE header emitted %d times, want 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# HELP poem_shard_entries_total "); got != 1 {
+		t.Errorf("family HELP header emitted %d times, want 1:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`poem_shard_entries_total{shard="0"} 1`,
+		`poem_shard_entries_total{shard="1"} 1`,
+		`poem_shard_entries_total{shard="2"} 1`,
+		"# TYPE poem_plain_total counter",
+		"poem_plain_total 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// The header for a labeled family must name the family, never a
+	// labeled instance (TYPE lines with braces are invalid exposition).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") && strings.Contains(line, "{") {
+			t.Errorf("header line carries a label: %q", line)
+		}
+	}
+}
+
 func TestDebugHandler(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("poem_handler_total", "").Inc()

@@ -16,16 +16,31 @@ import (
 // (<name>_p50 …), extracted from the log₂ buckets.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	// Exposition headers name the metric *family* (the name with any
+	// Labeled suffix stripped) and are emitted once per family: the
+	// snapshot is sorted by full name, so the labeled variants of one
+	// family — e.g. poem_shard_scheduled{shard="0".."N"} — are adjacent
+	// and share a single HELP/TYPE pair, as the text format requires.
+	prevFamily := ""
 	for _, m := range r.snapshot() {
+		fam := familyName(m.name)
+		newFamily := fam != prevFamily
+		prevFamily = fam
 		switch m.kind {
 		case kindCounter:
-			writeHeader(bw, m.name, m.help, "counter")
+			if newFamily {
+				writeHeader(bw, fam, m.help, "counter")
+			}
 			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Load())
 		case kindCounterFunc:
-			writeHeader(bw, m.name, m.help, "counter")
+			if newFamily {
+				writeHeader(bw, fam, m.help, "counter")
+			}
 			fmt.Fprintf(bw, "%s %d\n", m.name, m.counterFn())
 		case kindGauge:
-			writeHeader(bw, m.name, m.help, "gauge")
+			if newFamily {
+				writeHeader(bw, fam, m.help, "gauge")
+			}
 			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
 		case kindHistogram:
 			writeHistogram(bw, m)
