@@ -25,6 +25,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/mbuf"
 	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/record"
@@ -55,6 +56,8 @@ func main() {
 			"time+trace one packet in N per session (0 = default, negative = off)")
 		shards = flag.Int("shards", 0,
 			"pipeline shards the core runs (0 = min(GOMAXPROCS, 8); 1 = single-shard legacy pipeline)")
+		leakCheck = flag.Bool("mbuf-leakcheck", false,
+			"poison freed packet buffers and verify on shutdown that none leaked (debug aid; costs one memset per free)")
 	)
 	flag.Parse()
 
@@ -105,7 +108,13 @@ func main() {
 		region = sp.Region
 	}
 
-	lis, err := transport.ListenTCP(*listenAddr)
+	// All client reads go through one packet-buffer pool: the steady-state
+	// forwarding path then allocates nothing per packet. The pool's
+	// live/alloc/hit counters land on /metrics next to the pipeline's.
+	pool := mbuf.NewPool()
+	pool.SetLeakCheck(*leakCheck)
+	pool.Instrument(reg)
+	lis, err := transport.ListenTCPWithPool(*listenAddr, pool)
 	if err != nil {
 		log.Fatalf("poemd: %v", err)
 	}
@@ -173,6 +182,13 @@ func main() {
 	}
 	if dbg != nil {
 		dbg.Close()
+	}
+	if *leakCheck {
+		if live := pool.Live(); live != 0 {
+			log.Printf("poemd: mbuf leak check: %d pooled buffers still live after shutdown", live)
+		} else {
+			log.Printf("poemd: mbuf leak check: clean")
+		}
 	}
 
 	if wal != nil {

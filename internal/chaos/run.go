@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/linkmodel"
+	"repro/internal/mbuf"
 	"repro/internal/mobility"
 	"repro/internal/obs"
 	"repro/internal/radio"
@@ -148,6 +149,11 @@ type Runner struct {
 	reg   *obs.Registry
 	srv   *core.Server
 	lis   *transport.InprocListener
+	// pool backs every packet buffer the server touches (the listener is
+	// wrapped in transport.PoolIngress), in leak-check mode: teardown
+	// asserts Live()==0, which cross-checks the mbuf ownership discipline
+	// against every exit path the scenario exercised.
+	pool *mbuf.Pool
 
 	serveDone chan struct{}
 	fifo      fifoRecorder
@@ -256,9 +262,12 @@ func (r *Runner) setup() error {
 
 	srv.SetDeliverHook(r.fifo.hook)
 	r.lis = transport.NewInprocListener()
+	r.pool = mbuf.NewPool()
+	r.pool.SetLeakCheck(true)
+	ingress := transport.PoolIngress(r.lis, r.pool)
 	go func() {
 		defer close(r.serveDone)
-		srv.Serve(r.lis)
+		srv.Serve(ingress)
 	}()
 
 	for i := 1; i <= cfg.Clients; i++ {
@@ -650,6 +659,12 @@ func (r *Runner) teardown() {
 	r.lis.Close()
 	r.srv.Close()
 	<-r.serveDone
+	// Leak check: with sessions joined, schedules drained by Close, and
+	// client receive loops exited, every pooled buffer must be back in
+	// the pool. A residue pins the exit path that forgot its Free.
+	if live := r.pool.Live(); live != 0 {
+		r.violationf("teardown: mbuf leak: %d pooled buffers still live", live)
+	}
 }
 
 // checkGoroutines verifies the run did not leak goroutines: after

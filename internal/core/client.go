@@ -46,7 +46,10 @@ type ClientConfig struct {
 	// Most useful together with ResyncEvery.
 	DriftCompensation bool
 	// OnPacket receives every packet forwarded to this VMN. Called on
-	// the receive goroutine; hand off heavy work.
+	// the receive goroutine; hand off heavy work. The payload is valid
+	// only for the duration of the callback when the transport delivers
+	// pooled buffers (in-process transport under a pooled server) — copy
+	// it to retain it.
 	OnPacket func(wire.Packet)
 	// OnRadios is told the VMN's current radio set (at connect and on
 	// live scene changes).
@@ -207,7 +210,9 @@ func (c *Client) Send(pkt wire.Packet) error {
 	c.mu.Unlock()
 	pkt.Src = c.cfg.ID
 	pkt.Stamp = c.stamp.Now()
-	return c.conn.Send(&wire.Data{Pkt: pkt})
+	// A pooled wrapper keeps the steady-state send path allocation-free;
+	// Send consumes it on every path.
+	return c.conn.Send(wire.AcquireData(pkt))
 }
 
 // SendTo is a convenience for unicast application payloads.
@@ -304,6 +309,9 @@ func (c *Client) recvLoop() {
 			if c.cfg.OnPacket != nil {
 				c.cfg.OnPacket(msg.Pkt)
 			}
+			// Retire the wrapper (and, on a pooled in-process path, the
+			// packet's buffer) now that the callback is done with it.
+			wire.ReleaseData(msg)
 		case *wire.SyncReply:
 			c.mu.Lock()
 			ch := c.syncers[msg.TC1]

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/record"
 	"repro/internal/sched"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -40,6 +41,7 @@ func (sh *shard) deliver(it sched.Item) {
 		if it.Trace != 0 {
 			s.tracer.Release(it.Trace)
 		}
+		it.Pkt.Buf.Free() // this delivery's buffer reference dies with it
 		s.mAbandoned.Inc()
 		return // the client left between scheduling and departure
 	}
@@ -59,7 +61,15 @@ func (sh *shard) deliver(it sched.Item) {
 	if it.Trace != 0 {
 		t0 = time.Now()
 		nowEmu := s.cfg.Clock.Now()
-		s.hDeliverLag.Observe(time.Duration(nowEmu - it.Due))
+		// The scanner can fire an item marginally before Due (scaled-clock
+		// rounding in vclock.System.Wait); lag is defined as how *late* a
+		// departure fired, so clamp at zero rather than feeding a negative
+		// duration into the histogram.
+		lag := time.Duration(nowEmu - it.Due)
+		if lag < 0 {
+			lag = 0
+		}
+		s.hDeliverLag.Observe(lag)
 		s.tracer.Rec(it.Trace).Enqueue = int64(nowEmu)
 	}
 	sess.q.push(outMsg{kind: outData, pkt: it.Pkt, trace: it.Trace})
@@ -68,53 +78,114 @@ func (sh *shard) deliver(it sched.Item) {
 	}
 }
 
+// maxFlushBatch bounds how many queue entries the session writer drains
+// per flush. 64 keeps worst-case writev iovec counts and head-of-line
+// latency bounded while still amortizing the syscall across a burst.
+const maxFlushBatch = 64
+
 // sessionWriter is the per-session sending goroutine: it drains the
 // session's queue in FIFO order and performs the actual writes. One
 // writer per session means a wedged client backpressures only itself;
-// everyone else's writers keep draining.
+// everyone else's writers keep draining. The writer pops entries in
+// batches and ships each batch as one vectored write when the transport
+// supports it — under fan-out the queue refills faster than the kernel
+// accepts frames, so a batch is usually waiting by the time Send
+// returns, and coalescing it collapses n syscalls into one.
 func (s *Server) sessionWriter(sess *session) {
 	defer s.wg.Done()
+	batch := make([]outMsg, 0, maxFlushBatch)
 	for {
-		m, ok := sess.q.pop(sess.stop)
+		var ok bool
+		// Popped entries are "in flight" until their counters are settled
+		// — forwarded on success, abandoned on a failed send — so a drain
+		// check never observes the gap between pop and accounting.
+		batch, ok = sess.q.popBatch(sess.stop, batch)
 		if !ok {
 			return // session over; the queue accounted anything left
 		}
-		// A popped entry is "in flight" until its counters are settled —
-		// forwarded on success, abandoned on a failed data send — so a
-		// drain check never observes the gap between pop and accounting.
-		err := s.writeOut(sess, m)
-		sess.q.done()
+		err := s.writeBatch(sess, batch)
+		sess.q.done(len(batch))
 		if err != nil {
 			return
 		}
 	}
 }
 
-// writeOut ships one queue entry to the session's client and settles
-// its accounting. A send error abandons the entry (the session is dying
-// — the caller exits the writer).
-func (s *Server) writeOut(sess *session, m outMsg) error {
-	switch m.kind {
-	case outRadios:
-		if err := sess.conn.Send(&wire.Event{Kind: wire.EventRadios, Radios: m.radios}); err != nil {
-			return err
+// sendAll ships msgs on conn — one vectored write when the connection
+// batches — and returns how many reached the wire. Pooled messages are
+// consumed on every path (the Conn contract); the unsent tail after a
+// per-message error is released here so both transports present the
+// same all-consumed guarantee to the accounting below.
+func sendAll(conn transport.Conn, msgs []wire.Msg) (int, error) {
+	if bs, ok := conn.(transport.BatchSender); ok && len(msgs) > 1 {
+		return bs.SendBatch(msgs)
+	}
+	for i, m := range msgs {
+		if err := conn.Send(m); err != nil {
+			for _, rest := range msgs[i+1:] {
+				wire.ReleaseMsg(rest)
+			}
+			return i, err
 		}
-	case outData:
-		var t0 time.Time
-		if m.trace != 0 {
-			t0 = time.Now()
+	}
+	return len(msgs), nil
+}
+
+// writeBatch ships a popped batch to the session's client and settles
+// each entry's accounting: forwarded for entries that reached the wire,
+// abandoned for data entries behind a send error (the session is dying —
+// the caller exits the writer).
+func (s *Server) writeBatch(sess *session, batch []outMsg) error {
+	var t0 time.Time
+	traced := false
+	for i := range batch {
+		if batch[i].trace != 0 {
+			traced = true
+			break
 		}
-		if err := sess.conn.Send(&wire.Data{Pkt: m.pkt}); err != nil {
+	}
+	if traced {
+		t0 = time.Now()
+	}
+	msgs := sess.wmsgs[:0]
+	for i := range batch {
+		m := &batch[i]
+		switch m.kind {
+		case outRadios:
+			msgs = append(msgs, &wire.Event{Kind: wire.EventRadios, Radios: m.radios})
+		case outData:
+			// The queue's buffer reference rides the pooled wrapper from
+			// here on; Send consumes it whether or not the write succeeds.
+			msgs = append(msgs, wire.AcquireData(m.pkt))
+		}
+	}
+	sent, err := sendAll(sess.conn, msgs)
+	for i := range msgs {
+		msgs[i] = nil // the transport owns (or has retired) every message
+	}
+	sess.wmsgs = msgs[:0]
+	s.hFlushBatch.Observe(time.Duration(len(batch)))
+
+	if traced && sent > 0 {
+		s.hSend.Observe(time.Since(t0))
+	}
+	for i := range batch {
+		m := &batch[i]
+		if m.kind != outData {
+			continue
+		}
+		if i >= sent {
+			// Died between pop and wire: the transport already released
+			// the buffer, the ledger still needs the loss recorded.
 			if m.trace != 0 {
 				s.tracer.Release(m.trace)
 			}
 			s.mAbandoned.Inc()
-			return err
+			continue
 		}
 		if m.trace != 0 {
 			// Final stage: the packet is on the wire. Stamp it, name
 			// the concrete receiver, and commit the record.
-			s.hSend.Observe(time.Since(t0))
 			rec := s.tracer.Rec(m.trace)
 			rec.Send = int64(s.cfg.Clock.Now())
 			rec.Relay = uint32(sess.id)
@@ -130,5 +201,5 @@ func (s *Server) writeOut(sess *session, m outMsg) error {
 			})
 		}
 	}
-	return nil
+	return err
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/sched"
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -164,6 +165,11 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		s.finishIngest(sampled, obsStart, th)
 		return
 	}
+	// Each scheduled delivery owns one reference on the packet's pooled
+	// buffer (nil-safe for unpooled ingress); the reader's own reference
+	// is released by the session handler once ingest returns, so the
+	// buffer lives exactly as long as its slowest delivery.
+	pkt.Buf.Retain(len(kept))
 	if s.cfg.SerializeChannels {
 		// §7 MAC extension: one transmission at a time per channel. The
 		// broadcast occupies the medium once, sized for its slowest
@@ -177,6 +183,9 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		}
 		txEnd := txStart.Add(maxTx)
 		s.chanFree[pkt.Channel] = txEnd
+		if len(s.chanFree) > s.chanFreeSweep {
+			s.pruneChanFreeLocked(now, pkt.Channel)
+		}
 		s.chanMu.Unlock()
 		for i, k := range kept {
 			due := txEnd.Add(k.delay)
@@ -212,6 +221,32 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 	}
 	if sampled {
 		s.hIngest.Observe(time.Since(obsStart))
+	}
+}
+
+// chanFreeMinSweep is the smallest chanFree size that triggers a prune
+// sweep; below it the map is too small to be worth walking.
+const chanFreeMinSweep = 64
+
+// pruneChanFreeLocked evicts channel-busy entries whose airtime already
+// ended. A scenario that retunes radios across many channels (channel
+// hopping, scene churn) otherwise accretes one entry per channel ever
+// used, forever: the map only records "busy until", so an entry in the
+// past constrains nothing — a packet arriving now starts from its own
+// stamp regardless. Runs amortized: only when the map outgrows a
+// watermark, which is then reset to twice the surviving size. Callers
+// hold chanMu. keep is the channel just updated (its entry is always
+// current by construction; skipping it saves the common single-channel
+// case from ever sweeping).
+func (s *Server) pruneChanFreeLocked(now vclock.Time, keep radio.ChannelID) {
+	for ch, free := range s.chanFree {
+		if ch != keep && free < now {
+			delete(s.chanFree, ch)
+		}
+	}
+	s.chanFreeSweep = 2 * len(s.chanFree)
+	if s.chanFreeSweep < chanFreeMinSweep {
+		s.chanFreeSweep = chanFreeMinSweep
 	}
 }
 

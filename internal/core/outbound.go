@@ -83,6 +83,14 @@ func (q *sendQueue) releaseTrace(m *outMsg) {
 	}
 }
 
+// releaseEntry settles an entry that will never reach the wire: its
+// trace slot goes back to the tracer and its packet buffer reference is
+// freed (nil-safe — radio notifications carry no buffer).
+func (q *sendQueue) releaseEntry(m *outMsg) {
+	q.releaseTrace(m)
+	m.pkt.Buf.Free()
+}
+
 // countAbandoned charges one data delivery that died with its session
 // (closed-queue push, entries pending at close, or a failed final
 // send). Packet conservation needs every accepted delivery to end in
@@ -101,9 +109,10 @@ func (q *sendQueue) push(m outMsg) bool {
 	q.mu.Lock()
 	if q.closed {
 		// The session is over; the delivery dies here. Its trace slot
-		// must still be released and — for data — the loss accounted, or
-		// the conservation ledger would leak one packet per kill race.
-		q.releaseTrace(&m)
+		// and buffer must still be released and — for data — the loss
+		// accounted, or the conservation ledger would leak one packet
+		// per kill race.
+		q.releaseEntry(&m)
 		if m.kind == outData {
 			q.countAbandoned()
 		}
@@ -117,7 +126,7 @@ func (q *sendQueue) push(m outMsg) bool {
 			// them; a notification displaces the oldest one.
 			if m.kind == outData {
 				q.countDrop()
-				q.releaseTrace(&m)
+				q.releaseEntry(&m)
 				q.mu.Unlock()
 				return false
 			}
@@ -175,11 +184,19 @@ func (q *sendQueue) dropOldestDataLocked() bool {
 }
 
 func (q *sendQueue) dropHeadLocked() {
-	q.releaseTrace(&q.buf[q.head])
-	q.buf[q.head] = outMsg{}
+	head := &q.buf[q.head]
+	// Only data evictions are policy drops: QueueDrops feeds the
+	// conservation ledger (Entered == Forwarded + QueueDrops +
+	// Abandoned), and a displaced radio notification never entered it.
+	// Charging it here would inflate QueueDrops past the packets that
+	// actually died and the ledger would never balance again.
+	if head.kind == outData {
+		q.countDrop()
+	}
+	q.releaseEntry(head)
+	*head = outMsg{}
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
-	q.countDrop()
 }
 
 // pop blocks for the next entry. ok is false once the queue is closed
@@ -210,10 +227,45 @@ func (q *sendQueue) pop(stop <-chan struct{}) (m outMsg, ok bool) {
 	}
 }
 
-// done marks one popped entry fully processed (its counters updated).
-func (q *sendQueue) done() {
+// popBatch blocks for at least one entry, then drains up to cap(batch)
+// entries into batch without releasing the lock between them. The
+// entries count as in flight until done(n) settles them. ok is false
+// once the queue is closed or stop closes. Batching is what turns the
+// writer's per-packet syscall into one writev per burst: under fan-out
+// the queue holds several deliveries by the time the writer wakes, and
+// popping them together costs one lock acquisition instead of n.
+func (q *sendQueue) popBatch(stop <-chan struct{}, batch []outMsg) (_ []outMsg, ok bool) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return batch[:0], false
+		}
+		if q.n > 0 {
+			batch = batch[:0]
+			for q.n > 0 && len(batch) < cap(batch) {
+				batch = append(batch, q.buf[q.head])
+				q.buf[q.head] = outMsg{}
+				q.head = (q.head + 1) % len(q.buf)
+				q.n--
+			}
+			q.inflight += len(batch) // cleared by done() once accounted
+			q.mu.Unlock()
+			return batch, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.wake:
+		case <-stop:
+			return batch[:0], false
+		}
+	}
+}
+
+// done marks n popped entries fully processed (their counters updated).
+func (q *sendQueue) done(n int) {
 	q.mu.Lock()
-	q.inflight--
+	q.inflight -= n
 	q.mu.Unlock()
 }
 
@@ -230,7 +282,7 @@ func (q *sendQueue) close() {
 	q.closed = true
 	for i := 0; i < q.n; i++ {
 		m := &q.buf[(q.head+i)%len(q.buf)]
-		q.releaseTrace(m)
+		q.releaseEntry(m)
 		if m.kind == outData {
 			q.countAbandoned()
 		}

@@ -1,0 +1,221 @@
+package core
+
+// Tests for the sendQueue's accounting and buffer-ownership rules, the
+// SerializeChannels airtime-map bound, and the pooled TCP path's
+// leak-freedom. The accounting tests pin the drop-oldest ledger rule:
+// QueueDrops counts *packets* the policy discarded — a displaced radio
+// notification never entered the conservation ledger and must not be
+// charged to it.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/linkmodel"
+	"repro/internal/mbuf"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// A notification displacing a notification is queue churn, not packet
+// loss: it must not move the QueueDrops counter. (Regression: the old
+// dropHeadLocked charged every head eviction, so a session whose queue
+// filled with scene notifications inflated QueueDrops and broke
+// Entered == Forwarded + QueueDrops + Abandoned.)
+func TestSendQueueNotificationEvictionNotCountedAsDrop(t *testing.T) {
+	q := newSendQueue(2, nil, nil, nil)
+	note := outMsg{kind: outRadios, radios: []radio.Radio{{Channel: 1}}}
+	for i := 0; i < 2; i++ {
+		if !q.push(note) {
+			t.Fatalf("push %d rejected on an empty queue", i)
+		}
+	}
+	// Full of notifications: a third displaces the oldest and is accepted.
+	if !q.push(note) {
+		t.Fatal("notification rejected by a full-of-notifications queue")
+	}
+	if got := q.drops.Load(); got != 0 {
+		t.Fatalf("displaced notification charged as queue drop: drops = %d, want 0", got)
+	}
+	// Data yielding to queued notifications IS a packet loss.
+	if q.push(outMsg{kind: outData}) {
+		t.Fatal("data accepted into a queue full of notifications")
+	}
+	if got := q.drops.Load(); got != 1 {
+		t.Fatalf("rejected data: drops = %d, want 1", got)
+	}
+}
+
+// Data evicting data is the normal slow-client policy and still counts.
+func TestSendQueueDataEvictionCountsDrop(t *testing.T) {
+	q := newSendQueue(1, nil, nil, nil)
+	q.push(outMsg{kind: outData})
+	if !q.push(outMsg{kind: outData}) {
+		t.Fatal("second data push should evict and be accepted")
+	}
+	if got := q.drops.Load(); got != 1 {
+		t.Fatalf("data eviction: drops = %d, want 1", got)
+	}
+}
+
+// Every path an entry can die on inside the queue — evicted, pushed
+// after close, abandoned at close — must free its packet buffer.
+func TestSendQueueSettlesBuffers(t *testing.T) {
+	pool := mbuf.NewPool()
+	pool.SetLeakCheck(true)
+	mk := func() outMsg {
+		b := pool.Alloc(16)
+		return outMsg{kind: outData, pkt: wire.Packet{Payload: b.Bytes(), Buf: b}}
+	}
+	q := newSendQueue(1, nil, nil, nil)
+	q.push(mk())
+	q.push(mk()) // evicts the first
+	q.push(mk()) // evicts the second
+	if live := pool.Live(); live != 1 {
+		t.Fatalf("after two evictions: %d live buffers, want 1 (the queued one)", live)
+	}
+	q.close()
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("after close: %d live buffers, want 0", live)
+	}
+	q.push(mk()) // rejected by the closed queue; must free immediately
+	if live := pool.Live(); live != 0 {
+		t.Fatalf("closed-queue push leaked: %d live buffers, want 0", live)
+	}
+}
+
+// The SerializeChannels airtime map must not grow without bound under
+// channel churn: expired busy-until entries constrain nothing and are
+// swept once the map outgrows its watermark.
+func TestChanFreePruneBoundsChurn(t *testing.T) {
+	clk := vclock.NewManual(0)
+	sc := scene.New(radio.NewIndexed(16), clk, 1)
+	srv, err := NewServer(ServerConfig{Clock: clk, Scene: sc, SerializeChannels: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Replay ingest's update-then-maybe-sweep sequence across far more
+	// channels than the watermark, every airtime already expired.
+	now := vclock.FromSeconds(100)
+	for ch := 1; ch <= 10*chanFreeMinSweep; ch++ {
+		id := radio.ChannelID(ch)
+		srv.chanMu.Lock()
+		srv.chanFree[id] = now - 1
+		if len(srv.chanFree) > srv.chanFreeSweep {
+			srv.pruneChanFreeLocked(now, id)
+		}
+		srv.chanMu.Unlock()
+	}
+	srv.chanMu.Lock()
+	size := len(srv.chanFree)
+	srv.chanMu.Unlock()
+	if size > 2*chanFreeMinSweep {
+		t.Fatalf("chanFree grew to %d entries under churn, want ≤ %d", size, 2*chanFreeMinSweep)
+	}
+
+	// A sweep must keep entries that still constrain the future — and the
+	// channel being updated, whatever its expiry.
+	srv.chanMu.Lock()
+	srv.chanFree[radio.ChannelID(1)] = now + vclock.FromSeconds(10)
+	srv.chanFree[radio.ChannelID(2)] = now - 1
+	srv.pruneChanFreeLocked(now, radio.ChannelID(2))
+	_, liveKept := srv.chanFree[radio.ChannelID(1)]
+	_, curKept := srv.chanFree[radio.ChannelID(2)]
+	srv.chanMu.Unlock()
+	if !liveKept {
+		t.Fatal("sweep evicted a still-busy channel entry")
+	}
+	if !curKept {
+		t.Fatal("sweep evicted the channel being updated")
+	}
+}
+
+// End-to-end over real TCP with a pooled listener: after traffic,
+// quiesce and teardown, every pooled buffer must be back in the pool.
+// Runs the {1, 4} shard matrix like the chaos sweep.
+func TestPooledTCPLeakFree(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			pool := mbuf.NewPool()
+			pool.SetLeakCheck(true)
+			clk := vclock.NewSystem(50)
+			sc := scene.New(radio.NewIndexed(16), clk, 1)
+			clean, err := linkmodel.New(linkmodel.NoLoss{},
+				linkmodel.ConstantBandwidth{Bps: 1e9}, linkmodel.ConstantDelay{D: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sc.SetLinkModel(1, clean); err != nil {
+				t.Fatal(err)
+			}
+			sc.AddNode(1, geom.V(0, 0), oneRadio(1, 200))
+			sc.AddNode(2, geom.V(50, 0), oneRadio(1, 200))
+			sc.AddNode(3, geom.V(0, 50), oneRadio(1, 200))
+			srv, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lis, err := transport.ListenTCPWithPool("127.0.0.1:0", pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() { defer close(done); srv.Serve(lis) }()
+
+			dial := transport.TCPDialer(lis.Addr())
+			sk2, sk3 := newSink(), newSink()
+			c1, err := Dial(ClientConfig{ID: 1, Dial: dial, LocalClock: clk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Dial(ClientConfig{ID: 2, Dial: dial, LocalClock: clk, OnPacket: sk2.on})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c3, err := Dial(ClientConfig{ID: 3, Dial: dial, LocalClock: clk, OnPacket: sk3.on})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const sends = 200
+			for i := 0; i < sends; i++ {
+				if err := c1.Broadcast(1, 0, []byte("pooled-tcp-leak-probe")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for srv.Stats().Received != sends {
+				if time.Now().After(deadline) {
+					t.Fatalf("server received %d of %d", srv.Stats().Received, sends)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if !srv.Quiesce(10 * time.Second) {
+				t.Fatal("pipeline did not drain")
+			}
+			for sk2.count() != sends || sk3.count() != sends {
+				if time.Now().After(deadline) {
+					t.Fatalf("sinks got %d/%d of %d", sk2.count(), sk3.count(), sends)
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			c1.Close()
+			c2.Close()
+			c3.Close()
+			lis.Close()
+			srv.Close()
+			<-done
+			if live := pool.Live(); live != 0 {
+				t.Fatalf("mbuf leak: %d pooled buffers still live after teardown", live)
+			}
+		})
+	}
+}

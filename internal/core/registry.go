@@ -44,6 +44,10 @@ type session struct {
 	// performs no per-packet allocation. Only the session's own reader
 	// goroutine touches it.
 	kept []keptTarget
+	// wmsgs is the writer's scratch for assembling one flush batch into
+	// wire messages (writeBatch). Only the session's writer goroutine
+	// touches it.
+	wmsgs []wire.Msg
 
 	received  atomic.Uint64 // packets this client sent us
 	forwarded atomic.Uint64 // packets we delivered to this client
@@ -92,6 +96,11 @@ func (s *Server) handle(conn transport.Conn) {
 			conn.Send(&wire.SyncReply{TC1: msg.TC1, TS2: ts2, TS3: s.cfg.Clock.Now()})
 		case *wire.Data:
 			s.ingest(sess, msg.Pkt)
+			// Drop the reader's reference: ingest retained one per
+			// scheduled delivery, so the packet's pooled buffer now lives
+			// exactly as long as its slowest delivery (wire.ReleaseData is
+			// a no-op for unpooled reads).
+			wire.ReleaseData(msg)
 		case *wire.Bye:
 			return
 		default:
@@ -110,6 +119,7 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 	}
 	hello, ok := m.(*wire.Hello)
 	if !ok {
+		wire.ReleaseMsg(m) // a pooled Data before Hello still owns a buffer
 		return nil, fmt.Errorf("core: expected Hello, got %v", m.Type())
 	}
 	if hello.Ver != wire.Version {

@@ -197,6 +197,10 @@ type Server struct {
 
 	chanMu   sync.Mutex // guards chanFree (SerializeChannels extension)
 	chanFree map[radio.ChannelID]vclock.Time
+	// chanFreeSweep is the map-size watermark past which the next
+	// SerializeChannels update prunes expired channel-busy entries
+	// (guarded by chanMu; see pruneChanFreeLocked).
+	chanFreeSweep int
 
 	// Observability. The counters live on the registry (exported through
 	// Stats and /metrics); the histograms and tracer record only sampled
@@ -223,8 +227,9 @@ type Server struct {
 	hIngest     *obs.Histogram // wall ns: ingest entry → scheduled
 	hResolve    *obs.Histogram // wall ns: ingest entry → dispatch+filter done
 	hEnqueue    *obs.Histogram // wall ns: scanner hand-off to the send queue
-	hSend       *obs.Histogram // wall ns: the writer's conn.Send
+	hSend       *obs.Histogram // wall ns: the writer's batch flush
 	hDeliverLag *obs.Histogram // emulation ns: departure fired past its due time
+	hFlushBatch *obs.Histogram // entries per session-writer flush (every batch)
 }
 
 // ServerStats is a snapshot of server counters.
@@ -277,8 +282,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.TickStep = 100 * time.Millisecond
 	}
 	s := &Server{
-		cfg:      cfg,
-		chanFree: make(map[radio.ChannelID]vclock.Time),
+		cfg:           cfg,
+		chanFree:      make(map[radio.ChannelID]vclock.Time),
+		chanFreeSweep: chanFreeMinSweep,
 	}
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
@@ -357,8 +363,9 @@ func (s *Server) instrument(cfg ServerConfig) {
 	s.hIngest = reg.Histogram("poem_ingest_ns", "wall time from ingest entry to the packet being scheduled (sampled)")
 	s.hResolve = reg.Histogram("poem_dispatch_ns", "wall time from ingest entry to dispatch view resolved and targets filtered (sampled)")
 	s.hEnqueue = reg.Histogram("poem_enqueue_ns", "wall time the scanner spends handing a due packet to its session's send queue (sampled)")
-	s.hSend = reg.Histogram("poem_send_ns", "wall time of the session writer's socket send (sampled)")
+	s.hSend = reg.Histogram("poem_send_ns", "wall time of the session writer's batch flush (sampled)")
 	s.hDeliverLag = reg.Histogram("poem_deliver_lag_ns", "emulation time a departure fired past its scheduled due time (sampled)")
+	s.hFlushBatch = reg.Histogram("poem_flush_batch_entries", "queue entries coalesced per session-writer flush")
 
 	reg.Gauge("poem_clients", "connected sessions", func() float64 {
 		n := 0

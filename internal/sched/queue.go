@@ -11,7 +11,6 @@
 package sched
 
 import (
-	"container/heap"
 	"sort"
 
 	"repro/internal/radio"
@@ -50,40 +49,65 @@ type Queue interface {
 // ---------------------------------------------------------------------------
 // Binary heap (default)
 
-// HeapQueue is a binary min-heap on (Due, seq).
+// HeapQueue is a binary min-heap on (Due, seq). The sift loops are
+// hand-rolled over []Item rather than going through container/heap:
+// the standard interface passes elements as interface{} values, which
+// boxes a ~100-byte Item onto the heap on every Push *and* every Pop —
+// two allocations per scheduled packet on the hottest path the server
+// has. The manual version moves Items in place and allocates only when
+// the backing slice grows.
 type HeapQueue struct {
-	h    itemHeap
+	h    []Item
 	next uint64
 }
 
 // NewHeap returns an empty HeapQueue.
 func NewHeap() *HeapQueue { return &HeapQueue{} }
 
-type itemHeap []Item
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].Due != h[j].Due {
-		return h[i].Due < h[j].Due
+// less orders the heap by (Due, seq): due time first, push order as the
+// tie-break so equal departures fire in FIFO order.
+func (q *HeapQueue) less(i, j int) bool {
+	if q.h[i].Due != q.h[j].Due {
+		return q.h[i].Due < q.h[j].Due
 	}
-	return h[i].seq < h[j].seq
+	return q.h[i].seq < q.h[j].seq
 }
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = Item{} // release payload memory
-	*h = old[:n-1]
-	return it
+
+func (q *HeapQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *HeapQueue) siftDown(i int) {
+	n := len(q.h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && q.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.h[i], q.h[least] = q.h[least], q.h[i]
+		i = least
+	}
 }
 
 // Push implements Queue.
 func (q *HeapQueue) Push(it Item) {
 	it.seq = q.next
 	q.next++
-	heap.Push(&q.h, it)
+	q.h = append(q.h, it)
+	q.siftUp(len(q.h) - 1)
 }
 
 // PopDue implements Queue.
@@ -91,7 +115,15 @@ func (q *HeapQueue) PopDue(now vclock.Time) (Item, bool) {
 	if len(q.h) == 0 || q.h[0].Due > now {
 		return Item{}, false
 	}
-	return heap.Pop(&q.h).(Item), true
+	it := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = Item{} // release payload memory
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return it, true
 }
 
 // NextDue implements Queue.

@@ -62,6 +62,26 @@ func (s *Scanner) Stop() {
 	<-s.done
 }
 
+// Drain removes every item still queued, invoking fn on each, and
+// returns how many were drained. Call it only after Stop (or before
+// Start): abandoned items can carry pooled packet buffers and trace
+// slots, and something must settle them or a clean shutdown would leak
+// what the emulation never got to send.
+func (s *Scanner) Drain(fn func(Item)) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for {
+		it, ok := s.q.PopDue(vclock.Max)
+		if !ok {
+			break
+		}
+		fn(it)
+		n++
+	}
+	return n
+}
+
 // Push schedules an item and wakes the scanner if needed.
 func (s *Scanner) Push(it Item) {
 	s.mu.Lock()

@@ -104,10 +104,13 @@ func (f *Faulty) Stats() FaultyStats {
 }
 
 // transmitLocked ships one message on the wrapped connection, charging
-// FailAfter credit. Callers hold f.mu.
+// FailAfter credit. Callers hold f.mu. Like Conn.Send, it consumes
+// pooled messages on every path — the FailAfter branch never reaches
+// inner.Send, so it must retire the message itself.
 func (f *Faulty) transmitLocked(m wire.Msg) error {
 	if f.FailAfter > 0 && f.wired >= f.FailAfter {
 		f.inner.Close()
+		wire.ReleaseMsg(m)
 		return ErrClosed
 	}
 	if err := f.inner.Send(m); err != nil {
@@ -135,11 +138,13 @@ func (f *Faulty) Send(m wire.Msg) error {
 		f.stats.Sends++
 		f.mu.Unlock()
 		f.sleep(delay)
-		return nil // silently lost, like a cut cable mid-datagram
+		wire.ReleaseMsg(m) // lost messages still consume their buffer
+		return nil         // silently lost, like a cut cable mid-datagram
 	}
 	dup := f.DupProb > 0 && f.rng.Float64() < f.DupProb
 	if f.ReorderProb > 0 && f.held == nil && f.rng.Float64() < f.ReorderProb {
-		// Hold m; it will follow the next matching send out.
+		// Hold m; it will follow the next matching send out. The hold-back
+		// slot owns the message (and its buffer reference) until then.
 		held := m
 		f.held = &held
 		f.stats.Sends++
@@ -148,12 +153,24 @@ func (f *Faulty) Send(m wire.Msg) error {
 		f.sleep(delay)
 		return nil
 	}
+	// The duplicate copy must exist before the first transmit: Send
+	// consumes pooled messages, so re-sending the same pointer would
+	// transmit a retired buffer.
+	var dupMsg wire.Msg
+	if dup {
+		if d, ok := m.(*wire.Data); ok {
+			d.Pkt.Buf.Retain(1)
+			dupMsg = wire.AcquireData(d.Pkt)
+		} else {
+			dupMsg = m // notifications are never pooled; the pointer is reusable
+		}
+	}
 	err := f.transmitLocked(m)
 	if err == nil {
 		f.stats.Sends++
 		f.stats.Wired++
 		if dup {
-			if derr := f.transmitLocked(m); derr == nil {
+			if derr := f.transmitLocked(dupMsg); derr == nil {
 				f.stats.Wired++
 				f.stats.Duplicated++
 			}
@@ -166,6 +183,8 @@ func (f *Faulty) Send(m wire.Msg) error {
 			f.held = nil
 			f.stats.Held = 0
 		}
+	} else if dup && dupMsg != m {
+		wire.ReleaseMsg(dupMsg) // first transmit failed; retire the unused copy
 	}
 	f.mu.Unlock()
 	f.sleep(delay)
@@ -211,8 +230,18 @@ func (f *Faulty) Recv() (wire.Msg, error) {
 	return m, nil
 }
 
-// Close implements Conn.
-func (f *Faulty) Close() error { return f.inner.Close() }
+// Close implements Conn. A message still parked in the reorder
+// hold-back slot is retired here — nothing else will ever transmit it.
+func (f *Faulty) Close() error {
+	f.mu.Lock()
+	if f.held != nil {
+		wire.ReleaseMsg(*f.held)
+		f.held = nil
+		f.stats.Held = 0
+	}
+	f.mu.Unlock()
+	return f.inner.Close()
+}
 
 // Label implements Conn.
 func (f *Faulty) Label() string { return "faulty(" + f.inner.Label() + ")" }

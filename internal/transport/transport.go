@@ -21,6 +21,7 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/mbuf"
 	"repro/internal/wire"
 )
 
@@ -30,14 +31,31 @@ var ErrClosed = errors.New("transport: connection closed")
 // Conn is a bidirectional, reliable, ordered message connection.
 type Conn interface {
 	// Send transmits one message. Safe for concurrent use.
+	//
+	// Send consumes pooled messages (wire.AcquireData) whether it
+	// succeeds or fails: the TCP transport releases them once their
+	// bytes are serialized, the in-process transport transfers them to
+	// the receiver. Callers must not touch a pooled message after Send.
+	// Plain message literals are unaffected.
 	Send(m wire.Msg) error
 	// Recv blocks for the next message. io.EOF signals an orderly end.
-	// Only one goroutine may call Recv.
+	// Only one goroutine may call Recv. On a pooled connection the
+	// received message may be pooled; the consumer retires it with
+	// wire.ReleaseMsg once processed.
 	Recv() (wire.Msg, error)
 	// Close tears the connection down, unblocking Recv on both ends.
 	Close() error
 	// Label describes the peer for logs.
 	Label() string
+}
+
+// BatchSender is implemented by connections that can flush several
+// messages in one writer syscall (writev). SendBatch consumes every
+// pooled message in ms (like Send) and returns how many messages were
+// fully transmitted; on error the un-transmitted tail is consumed but
+// not sent.
+type BatchSender interface {
+	SendBatch(ms []wire.Msg) (int, error)
 }
 
 // Listener accepts inbound connections.
@@ -56,37 +74,119 @@ type Dialer func() (Conn, error)
 // TCP transport
 
 type tcpConn struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
-	mu sync.Mutex // guards bw and write ordering
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	pool *mbuf.Pool  // non-nil: frames are read into pooled buffers
+	local *mbuf.Local // reader-owned allocation cache, built lazily
+
+	mu   sync.Mutex // guards bw, the scratch buffers, and write ordering
+	wbuf []byte     // serialization scratch, reused across sends
+	iov  net.Buffers
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
+func newTCPConn(c net.Conn, pool *mbuf.Pool) *tcpConn {
 	if t, ok := c.(*net.TCPConn); ok {
 		// The emulator forwards small frames under latency pressure;
 		// Nagle would batch them.
 		t.SetNoDelay(true)
 	}
 	return &tcpConn{
-		c:  c,
-		br: bufio.NewReaderSize(c, 64<<10),
-		bw: bufio.NewWriterSize(c, 64<<10),
+		c:    c,
+		br:   bufio.NewReaderSize(c, 64<<10),
+		bw:   bufio.NewWriterSize(c, 64<<10),
+		pool: pool,
 	}
 }
 
 func (t *tcpConn) Send(m wire.Msg) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := wire.WriteMsg(t.bw, m); err != nil {
-		return err
+	b, err := wire.AppendFrame(t.wbuf[:0], m)
+	t.wbuf = b
+	if err == nil {
+		if _, err = t.bw.Write(b); err == nil {
+			err = t.bw.Flush()
+		}
 	}
-	return t.bw.Flush()
+	t.mu.Unlock()
+	wire.ReleaseMsg(m) // Send consumes pooled messages, success or not
+	return err
+}
+
+// directPayloadMin is the payload size above which SendBatch references
+// the payload in the iovec instead of copying it into the coalesce
+// buffer: big payloads aren't worth memcpy-ing, small ones aren't worth
+// an iovec entry.
+const directPayloadMin = 2 << 10
+
+// SendBatch implements BatchSender: the whole batch is serialized into
+// one scratch buffer — large Data payloads referenced in place rather
+// than copied — and handed to the kernel as a single vectored write.
+// One syscall flushes everything the session writer drained, which is
+// the §3.2 sending stage's answer to syscall-bound fan-out.
+func (t *tcpConn) SendBatch(ms []wire.Msg) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	t.mu.Lock()
+	scratch := t.wbuf[:0]
+	iov := t.iov[:0]
+	seg := 0 // scratch offset where the open coalesce segment starts
+	var err error
+	for _, m := range ms {
+		if d, ok := m.(*wire.Data); ok && len(d.Pkt.Payload) >= directPayloadMin {
+			scratch = wire.AppendDataFrame(scratch, &d.Pkt)
+			iov = append(iov, scratch[seg:len(scratch):len(scratch)], d.Pkt.Payload)
+			seg = len(scratch)
+			continue
+		}
+		if scratch, err = wire.AppendFrame(scratch, m); err != nil {
+			break
+		}
+	}
+	sent := 0
+	if err == nil {
+		if seg < len(scratch) {
+			iov = append(iov, scratch[seg:])
+		}
+		// bw is empty between sends (Send always flushes); flush anyway
+		// so vectored bytes can never overtake buffered ones.
+		if err = t.bw.Flush(); err == nil {
+			_, err = iov.WriteTo(t.c)
+		}
+		if err == nil {
+			sent = len(ms)
+		}
+	}
+	t.wbuf = scratch
+	t.iov = iov[:0]
+	t.mu.Unlock()
+	for _, m := range ms {
+		wire.ReleaseMsg(m)
+	}
+	return sent, err
 }
 
 func (t *tcpConn) Recv() (wire.Msg, error) {
-	m, err := wire.ReadMsg(t.br)
+	var (
+		m   wire.Msg
+		err error
+	)
+	if t.pool != nil {
+		// local is confined to the reader goroutine (Recv's single-
+		// caller contract), so the cache needs no lock.
+		if t.local == nil {
+			t.local = t.pool.NewLocal()
+		}
+		m, err = wire.ReadMsgPooled(t.br, t.local)
+	} else {
+		m, err = wire.ReadMsg(t.br)
+	}
 	if err != nil {
+		if t.local != nil {
+			t.local.Close() // the reader is done; spill the cache back
+			t.local = nil
+		}
 		if errors.Is(err, net.ErrClosed) {
 			err = io.EOF
 		}
@@ -98,16 +198,29 @@ func (t *tcpConn) Recv() (wire.Msg, error) {
 func (t *tcpConn) Close() error  { return t.c.Close() }
 func (t *tcpConn) Label() string { return t.c.RemoteAddr().String() }
 
-type tcpListener struct{ l net.Listener }
+type tcpListener struct {
+	l    net.Listener
+	pool *mbuf.Pool
+}
 
 // ListenTCP starts a TCP listener. Pass "127.0.0.1:0" to let the kernel
 // choose a port; read it back from Addr.
 func ListenTCP(addr string) (Listener, error) {
+	return ListenTCPWithPool(addr, nil)
+}
+
+// ListenTCPWithPool is ListenTCP with pooled frame reads: every frame
+// an accepted connection receives lands in a buffer from p, and Data
+// payloads alias that buffer instead of being copied (zero-copy
+// ingress). Receivers retire messages with wire.ReleaseMsg; the server
+// core does, so this is the deployment configuration — clients keep
+// copying reads because application callbacks may retain payloads.
+func ListenTCPWithPool(addr string, p *mbuf.Pool) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, pool: p}, nil
 }
 
 func (t *tcpListener) Accept() (Conn, error) {
@@ -115,7 +228,7 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, t.pool), nil
 }
 
 func (t *tcpListener) Close() error { return t.l.Close() }
@@ -127,7 +240,7 @@ func DialTCP(addr string) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, nil), nil
 }
 
 // TCPDialer returns a Dialer for addr.
@@ -138,62 +251,125 @@ func TCPDialer(addr string) Dialer {
 // ---------------------------------------------------------------------------
 // In-process transport
 
+const pipeDepth = 512
+
+// pipeQueue is one direction of an in-process pipe: a bounded FIFO ring
+// under a mutex. A mutex (rather than a buffered channel) makes the
+// closed-check and the enqueue one atomic step — with two channels in a
+// select, Go may pick the enqueue even when done is also ready, letting
+// a message slip in after the receiver already drained and reported
+// EOF. That stranded message would read as a leak to the mbuf
+// accounting the chaos harness asserts on.
+type pipeQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	ring   [pipeDepth]wire.Msg
+	head   int // next slot to pop
+	n      int // occupied slots
+	closed bool
+}
+
+func newPipeQueue() *pipeQueue {
+	q := &pipeQueue{}
+	q.cond.L = &q.mu
+	return q
+}
+
+// send enqueues m, blocking while the ring is full. It reports false if
+// the pipe closed (before or while blocked); m was not enqueued.
+func (q *pipeQueue) send(m wire.Msg) bool {
+	q.mu.Lock()
+	for q.n == pipeDepth && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.ring[(q.head+q.n)%pipeDepth] = m
+	q.n++
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return true
+}
+
+// recv dequeues the next message, blocking while the ring is empty.
+// After close, queued messages remain readable (matching TCP, where
+// in-flight bytes survive the peer's close); ok=false means closed and
+// drained.
+func (q *pipeQueue) recv() (wire.Msg, bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	m := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % pipeDepth
+	q.n--
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return m, true
+}
+
+func (q *pipeQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
 // pipeShared is the state common to both halves of an in-process pipe.
 type pipeShared struct {
 	once sync.Once
-	done chan struct{}
+	a2b  *pipeQueue
+	b2a  *pipeQueue
 }
 
-func (s *pipeShared) close() { s.once.Do(func() { close(s.done) }) }
+func (s *pipeShared) close() {
+	s.once.Do(func() {
+		s.a2b.close()
+		s.b2a.close()
+	})
+}
 
 type pipeConn struct {
 	shared *pipeShared
-	in     <-chan wire.Msg
-	out    chan<- wire.Msg
+	in     *pipeQueue
+	out    *pipeQueue
 	label  string
 }
 
 // Pipe returns a connected pair of in-process Conns. Messages are
-// passed by value through buffered channels; senders must not mutate a
-// message after Send (the codec-based TCP path copies implicitly, this
-// path does not).
+// passed by reference; senders must not mutate a message after Send
+// (the codec-based TCP path copies implicitly, this path does not).
+// Pooled messages transfer ownership to the receiver, which retires
+// them with wire.ReleaseMsg; if the pipe is already closed, Send
+// retires them itself (the consume-on-failure half of the Conn
+// contract).
 func Pipe() (client, server Conn) {
-	const depth = 512
-	a2b := make(chan wire.Msg, depth)
-	b2a := make(chan wire.Msg, depth)
-	shared := &pipeShared{done: make(chan struct{})}
-	return &pipeConn{shared: shared, in: b2a, out: a2b, label: "inproc-server"},
-		&pipeConn{shared: shared, in: a2b, out: b2a, label: "inproc-client"}
+	shared := &pipeShared{a2b: newPipeQueue(), b2a: newPipeQueue()}
+	return &pipeConn{shared: shared, in: shared.b2a, out: shared.a2b, label: "inproc-server"},
+		&pipeConn{shared: shared, in: shared.a2b, out: shared.b2a, label: "inproc-client"}
 }
 
 func (p *pipeConn) Send(m wire.Msg) error {
-	select {
-	case <-p.shared.done:
-		return ErrClosed
-	default:
-	}
-	select {
-	case p.out <- m:
-		return nil
-	case <-p.shared.done:
+	if !p.out.send(m) {
+		wire.ReleaseMsg(m)
 		return ErrClosed
 	}
+	return nil
 }
 
 func (p *pipeConn) Recv() (wire.Msg, error) {
-	select {
-	case m := <-p.in:
-		return m, nil
-	case <-p.shared.done:
-		// Drain anything already queued before reporting EOF, matching
-		// TCP semantics where in-flight bytes remain readable.
-		select {
-		case m := <-p.in:
-			return m, nil
-		default:
-			return nil, io.EOF
-		}
+	m, ok := p.in.recv()
+	if !ok {
+		return nil, io.EOF
 	}
+	return m, nil
 }
 
 func (p *pipeConn) Close() error {
@@ -202,6 +378,59 @@ func (p *pipeConn) Close() error {
 }
 
 func (p *pipeConn) Label() string { return p.label }
+
+// ---------------------------------------------------------------------------
+// Pooled ingress wrapper
+
+// PoolIngress wraps a Listener so every inbound Data payload is repacked
+// into a buffer from p before the server core sees it. The TCP transport
+// pools reads natively (ListenTCPWithPool); this wrapper gives the
+// in-process transport — and therefore the chaos harness — the same
+// pooled ownership path end to end, so the harness's leak-check mode
+// actually exercises every Retain/Free the production server performs.
+func PoolIngress(l Listener, p *mbuf.Pool) Listener {
+	return &poolIngressListener{l: l, pool: p}
+}
+
+type poolIngressListener struct {
+	l    Listener
+	pool *mbuf.Pool
+}
+
+func (l *poolIngressListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &poolIngressConn{Conn: c, pool: l.pool}, nil
+}
+
+func (l *poolIngressListener) Close() error { return l.l.Close() }
+func (l *poolIngressListener) Addr() string { return l.l.Addr() }
+
+type poolIngressConn struct {
+	Conn
+	pool *mbuf.Pool
+}
+
+func (c *poolIngressConn) Recv() (wire.Msg, error) {
+	m, err := c.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	d, ok := m.(*wire.Data)
+	if !ok || d.Pkt.Buf != nil {
+		return m, nil // not a packet, or already pooled upstream
+	}
+	buf := c.pool.Alloc(len(d.Pkt.Payload))
+	copy(buf.Bytes(), d.Pkt.Payload)
+	pkt := d.Pkt
+	pkt.Payload = buf.Bytes()
+	pkt.Buf = buf
+	repacked := wire.AcquireData(pkt)
+	wire.ReleaseMsg(m)
+	return repacked, nil
+}
 
 // inprocListener hands the server halves of Pipe pairs to Accept.
 type inprocListener struct {

@@ -30,6 +30,10 @@ import (
 // emulation epoch (the moment the server clock was created).
 type Time int64
 
+// Max is the latest representable instant — "after every deadline",
+// used to drain time-ordered queues unconditionally.
+const Max Time = 1<<63 - 1
+
 // Common conversion helpers.
 func FromDuration(d time.Duration) Time { return Time(d) }
 func FromSeconds(s float64) Time        { return Time(s * float64(time.Second)) }

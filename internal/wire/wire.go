@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
+	"repro/internal/mbuf"
 	"repro/internal/radio"
 	"repro/internal/vclock"
 )
@@ -191,6 +193,14 @@ type Packet struct {
 	Seq     uint32
 	Stamp   vclock.Time // client emulation clock at send (parallel stamp)
 	Payload []byte
+
+	// Buf, when non-nil, is the pooled buffer backing Payload (a pooled
+	// transport read aliases the payload straight out of the frame
+	// buffer instead of copying it). It rides along as the packet fans
+	// out through the forwarding pipeline; whoever retires a copy of the
+	// packet frees one reference. Buf is ownership metadata, not wire
+	// content — the codec neither serializes nor restores it.
+	Buf *mbuf.Buf
 }
 
 // Size returns the emulated packet size in bytes used by the bandwidth
@@ -204,6 +214,11 @@ const packetHeaderSize = 28
 // Data carries an emulated packet.
 type Data struct {
 	Pkt Packet
+
+	// pooled marks a wrapper obtained from AcquireData (or a pooled
+	// read); ReleaseData recycles only those, so plain &Data{} literals
+	// keep working everywhere without ownership obligations.
+	pooled bool
 }
 
 // Type implements Msg.
@@ -221,10 +236,15 @@ func (m Data) appendBody(b []byte) []byte {
 	return append(b, p.Payload...)
 }
 
-func (m *Data) readBody(b []byte) error {
-	const fixed = 4 + 4 + 2 + 2 + 4 + 8 + 4
-	if len(b) < fixed {
-		return ErrShortBody
+// dataFixed is the encoded size of a Data body's fixed fields (the
+// payload bytes follow).
+const dataFixed = 4 + 4 + 2 + 2 + 4 + 8 + 4
+
+// parseBody decodes the fixed fields and returns the payload bytes
+// still aliasing b; the caller decides whether to copy them.
+func (m *Data) parseBody(b []byte) ([]byte, error) {
+	if len(b) < dataFixed {
+		return nil, ErrShortBody
 	}
 	p := &m.Pkt
 	p.Src = radio.NodeID(binary.BigEndian.Uint32(b))
@@ -235,12 +255,32 @@ func (m *Data) readBody(b []byte) error {
 	p.Stamp = vclock.Time(binary.BigEndian.Uint64(b[16:]))
 	n := binary.BigEndian.Uint32(b[24:])
 	if n > MaxPayload {
-		return ErrBadPayloadLen
+		return nil, ErrBadPayloadLen
 	}
-	if len(b) != fixed+int(n) {
-		return ErrShortBody
+	if len(b) != dataFixed+int(n) {
+		return nil, ErrShortBody
 	}
-	p.Payload = append([]byte(nil), b[fixed:]...)
+	return b[dataFixed:], nil
+}
+
+func (m *Data) readBody(b []byte) error {
+	payload, err := m.parseBody(b)
+	if err != nil {
+		return err
+	}
+	m.Pkt.Payload = append([]byte(nil), payload...)
+	return nil
+}
+
+// readBodyRef is readBody without the payload copy: Payload aliases b.
+// Only the pooled read path uses it, where b is pool memory owned by
+// the resulting message.
+func (m *Data) readBodyRef(b []byte) error {
+	payload, err := m.parseBody(b)
+	if err != nil {
+		return err
+	}
+	m.Pkt.Payload = payload
 	return nil
 }
 
@@ -354,12 +394,17 @@ func ReadMsg(r io.Reader) (Msg, error) {
 		}
 		return nil, err
 	}
+	return decodeBody(Type(buf[0]), buf[1:])
+}
+
+// decodeBody decodes one message body of the given type. Every decoded
+// field is copied out of b.
+func decodeBody(t Type, body []byte) (Msg, error) {
 	var (
 		m    Msg
 		perr error
 	)
-	body := buf[1:]
-	switch Type(buf[0]) {
+	switch t {
 	case TypeHello:
 		v := &Hello{}
 		perr, m = v.readBody(body), v
@@ -382,10 +427,144 @@ func ReadMsg(r io.Reader) (Msg, error) {
 		v := &Bye{}
 		perr, m = v.readBody(body), v
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, buf[0])
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
 	if perr != nil {
 		return nil, perr
 	}
 	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Pooled messages and allocation-free framing
+//
+// The steady-state forwarding path must not allocate (see internal/
+// mbuf). Three pieces make the codec cooperate: pooled *Data wrappers
+// (AcquireData/ReleaseData) so the per-send `&Data{}` disappears,
+// AppendFrame so a frame serializes into a caller-owned scratch buffer
+// instead of WriteMsg's per-call body slice, and ReadMsgPooled so an
+// inbound frame lands in a pooled buffer whose payload the Data message
+// aliases instead of copying.
+//
+// Ownership contract: a pooled *Data is consumed by transport.Conn.Send
+// (the TCP transport releases it after serializing; the in-process
+// transport transfers it to the receiver, who releases it after
+// processing). ReleaseData frees the packet's Buf reference along with
+// the wrapper, and is a no-op for plain &Data{} literals.
+
+// dataPool recycles Data wrappers across the whole process — the
+// server's writers put wrappers in, transport readers and handlers take
+// them out, so in-process transports recycle end to end.
+var dataPool = sync.Pool{New: func() interface{} { return new(Data) }}
+
+// AcquireData returns a pooled Data wrapper carrying p. Sending it on a
+// transport.Conn consumes it; otherwise balance with ReleaseData.
+func AcquireData(p Packet) *Data {
+	d := dataPool.Get().(*Data)
+	d.Pkt = p
+	d.pooled = true
+	return d
+}
+
+// ReleaseData retires a pooled Data: one reference of the packet's Buf
+// is freed and the wrapper returns to the pool. No-op for nil or
+// unpooled wrappers, so every receive path can call it unconditionally.
+// The message must not be touched afterwards.
+func ReleaseData(m *Data) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false
+	m.Pkt.Buf.Free()
+	m.Pkt = Packet{}
+	dataPool.Put(m)
+}
+
+// ReleaseMsg is ReleaseData behind a type switch, for call sites that
+// hold a Msg: pooled Data is retired, everything else is untouched.
+func ReleaseMsg(m Msg) {
+	if d, ok := m.(*Data); ok {
+		ReleaseData(d)
+	}
+}
+
+// AppendFrame appends m's complete framed encoding (length prefix,
+// type byte, body) to dst and returns the extended slice. On error dst
+// is returned truncated to its original length.
+func AppendFrame(dst []byte, m Msg) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(m.Type()))
+	dst = m.appendBody(dst)
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// AppendDataFrame appends a Data frame up to but excluding the payload
+// bytes, which the caller transmits from p.Payload directly (vectored
+// writes: the writev path coalesces small frames and references big
+// payloads in place). The length prefix accounts for the payload.
+func AppendDataFrame(dst []byte, p *Packet) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+dataFixed+len(p.Payload)))
+	dst = append(dst, byte(TypeData))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.Src))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.Dst))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(p.Channel))
+	dst = binary.BigEndian.AppendUint16(dst, p.Flow)
+	dst = binary.BigEndian.AppendUint32(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Stamp))
+	return binary.BigEndian.AppendUint32(dst, uint32(len(p.Payload)))
+}
+
+// Alloc supplies buffers to ReadMsgPooled; *mbuf.Pool and *mbuf.Local
+// both satisfy it.
+type Alloc interface {
+	Alloc(n int) *mbuf.Buf
+}
+
+// ReadMsgPooled is ReadMsg with the frame read into a pooled buffer.
+// For Data messages the payload aliases the buffer — no copy — and the
+// returned message is pooled: Pkt.Buf holds the buffer's single
+// reference and the receiver retires the message with ReleaseData (or
+// consumes it via a transport Send). All other message types decode as
+// usual and their frame buffer is freed before returning.
+func ReadMsgPooled(r io.Reader, a Alloc) (Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrShortBody
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := a.Alloc(int(n))
+	frame := buf.Bytes()
+	if _, err := io.ReadFull(r, frame); err != nil {
+		buf.Free()
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if Type(frame[0]) == TypeData {
+		d := dataPool.Get().(*Data)
+		if err := d.readBodyRef(frame[1:]); err != nil {
+			d.Pkt = Packet{}
+			dataPool.Put(d)
+			buf.Free()
+			return nil, err
+		}
+		d.Pkt.Buf = buf
+		d.pooled = true
+		return d, nil
+	}
+	m, err := decodeBody(Type(frame[0]), frame[1:])
+	buf.Free() // non-Data bodies copy what they keep
+	return m, err
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check_allocs.sh — allocation regression gate for the forwarding path.
+#
+# Runs the fan-out benchmarks with -benchmem and fails if any measured
+# allocs/op exceeds the budget. The pooled packet path (internal/mbuf)
+# keeps the steady-state forwarding pipeline allocation-free; a new
+# allocation per packet is a regression the timing-based benches would
+# hide (it shows up as GC pauses under load, not as mean ns/op). The
+# recorded numbers live in BENCH_alloc.json. Run from the repo root:
+#
+#	./scripts/check_allocs.sh [max_allocs_per_op]
+set -eu
+
+BUDGET=${1:-2}
+# More than one iteration so the pools are warm: the very first packet
+# of a class pays its heap allocation by design.
+OUT=$(go test -run='^$' -bench='SessionQueueFanout|AllocFanout' -benchmem -benchtime=100x .)
+echo "$OUT"
+
+echo "$OUT" | awk -v budget="$BUDGET" '
+	/allocs\/op/ {
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "allocs/op" && $i + 0 > budget) {
+				printf "FAIL: %s measured %s allocs/op, budget %d\n", $1, $i, budget
+				bad = 1
+			}
+		}
+	}
+	END { exit bad }
+' || { echo "alloc gate: FAILED (budget ${BUDGET} allocs/op)"; exit 1; }
+
+echo "alloc gate: OK (every fan-out bench within ${BUDGET} allocs/op)"
