@@ -56,6 +56,8 @@ func main() {
 			"time+trace one packet in N per session (0 = default, negative = off)")
 		shards = flag.Int("shards", 0,
 			"pipeline shards the core runs (0 = min(GOMAXPROCS, 8); 1 = single-shard legacy pipeline)")
+		scanBatch = flag.Int("scan-batch", 0,
+			"due deliveries a shard scanner fires per schedule-lock cycle (0 = default; 1 = single-fire ablation)")
 		leakCheck = flag.Bool("mbuf-leakcheck", false,
 			"poison freed packet buffers and verify on shutdown that none leaked (debug aid; costs one memset per free)")
 	)
@@ -71,7 +73,7 @@ func main() {
 		Seed: *seed, TickStep: *tick, AutoCreateNodes: *autoCreate,
 		SendQueueDepth: *sendQueue, MaxStampSkew: *maxSkew,
 		Obs: reg, Tracer: tracer, ObsSampleEvery: *sampleEvery,
-		Shards: *shards,
+		Shards: *shards, ScanBatch: *scanBatch,
 	})
 	if err != nil {
 		log.Fatalf("poemd: %v", err)

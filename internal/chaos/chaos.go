@@ -74,6 +74,11 @@ type Config struct {
 	// digest names one scenario and the invariants are judged across
 	// shard counts on identical event logs.
 	Shards int
+	// ScanBatch is the scanner's per-lock fire batch limit
+	// (core.ServerConfig.ScanBatch). Like Shards it is an execution
+	// parameter excluded from the digest: batched and single-fire
+	// scanning must execute the identical schedule.
+	ScanBatch int
 	// Sabotage injects a deliberate harness-side corruption so the
 	// invariant checkers can be shown to catch violations (self-test).
 	Sabotage Sabotage
@@ -115,6 +120,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 1
+	}
+	if c.ScanBatch < 0 {
+		c.ScanBatch = 0
 	}
 	return c
 }

@@ -223,7 +223,7 @@ func (r *Runner) setup() error {
 	srv, err := core.NewServer(core.ServerConfig{
 		Clock: r.clk, Scene: r.sc, Store: r.store, Seed: cfg.Seed,
 		SendQueueDepth: cfg.QueueDepth, Obs: r.reg, ObsSampleEvery: 4,
-		Shards: cfg.Shards,
+		Shards: cfg.Shards, ScanBatch: cfg.ScanBatch,
 	})
 	if err != nil {
 		return err

@@ -170,8 +170,10 @@ func (s *Server) execute(line string, w io.Writer) {
 		// One line per pipeline shard: where the sessions landed and how
 		// much schedule work each slice is carrying.
 		for _, sh := range s.emu.ShardStats() {
-			fmt.Fprintf(w, "  shard %d clients=%d scheduled=%d dispatched=%d entered=%d queuedepth=%d\n",
-				sh.Shard, sh.Clients, sh.Scheduled, sh.Dispatched, sh.Entered, sh.QueueDepth)
+			fmt.Fprintf(w, "  shard %d clients=%d scheduled=%d dispatched=%d entered=%d queuedepth=%d"+
+				" firebatches=%d wakeups=%d spurious=%d kicks=%d elided=%d\n",
+				sh.Shard, sh.Clients, sh.Scheduled, sh.Dispatched, sh.Entered, sh.QueueDepth,
+				sh.FireBatches, sh.Wakeups, sh.SpuriousWakes, sh.KicksDelivered, sh.KicksElided)
 		}
 		// One line per channel: how often its dispatch view was rebuilt
 		// (the §4.2 channel-indexed update cost, live).

@@ -31,10 +31,11 @@ import (
 // heap maintenance isn't what gets measured.
 type discardQueue struct{}
 
-func (discardQueue) Push(sched.Item)                       {}
-func (discardQueue) PopDue(vclock.Time) (sched.Item, bool) { return sched.Item{}, false }
-func (discardQueue) NextDue() (vclock.Time, bool)          { return 0, false }
-func (discardQueue) Len() int                              { return 0 }
+func (discardQueue) Push(sched.Item)                           {}
+func (discardQueue) PopDue(vclock.Time) (sched.Item, bool)     { return sched.Item{}, false }
+func (discardQueue) PopDueBatch(vclock.Time, []sched.Item) int { return 0 }
+func (discardQueue) NextDue() (vclock.Time, bool)              { return 0, false }
+func (discardQueue) Len() int                                  { return 0 }
 
 // newDispatchBench builds a server over a populated scene: `nodes` VMNs
 // in a row on channel 1, spaced so each hears a handful of neighbors.

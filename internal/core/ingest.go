@@ -187,6 +187,7 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 			s.pruneChanFreeLocked(now, pkt.Channel)
 		}
 		s.chanMu.Unlock()
+		items := sess.items[:0]
 		for i, k := range kept {
 			due := txEnd.Add(k.delay)
 			if due < now {
@@ -196,13 +197,16 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 			if i == 0 {
 				it.Trace = th // one target completes the record
 			}
-			s.shardOf(k.to).push(it)
+			items = append(items, it)
 		}
+		sess.items = items
+		s.pushItems(sess, items)
 		if sampled {
 			s.hIngest.Observe(time.Since(obsStart))
 		}
 		return
 	}
+	items := sess.items[:0]
 	for i, k := range kept {
 		// The paper's base formula: t_forward = t_receipt + delay +
 		// size/bandwidth, per destination, independently.
@@ -217,10 +221,67 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 		if i == 0 {
 			it.Trace = th
 		}
-		s.shardOf(k.to).push(it)
+		items = append(items, it)
 	}
+	sess.items = items
+	s.pushItems(sess, items)
 	if sampled {
 		s.hIngest.Observe(time.Since(obsStart))
+	}
+}
+
+// pushItems lists one packet's scheduled deliveries into their
+// destination shards, coalescing targets that share a shard so each
+// shard's schedule lock is taken — and its scanner kicked — at most once
+// per packet instead of once per target (§3.2 step 4 under fan-out: a
+// broadcast that kept k survivors used to cost k lock cycles; now it
+// costs one per distinct destination shard). The order within items is
+// preserved inside every group, so per-destination FIFO is exactly what
+// sequential pushes produced. Runs on the session's reader goroutine;
+// the grouping scratch lives on the session (same confinement as kept).
+func (s *Server) pushItems(sess *session, items []sched.Item) {
+	n := len(items)
+	switch {
+	case n == 0:
+		return
+	case n == 1:
+		s.shardOf(items[0].To).push(items[0])
+	case len(s.shards) == 1:
+		s.shards[0].pushBatch(items)
+	default:
+		// Group by destination shard with a mark-consumed sweep: for each
+		// unclaimed item, gather every later item on the same shard (in
+		// order) and hand the group over in one pushBatch. O(n·shards)
+		// worst case with n bounded by the scene's neighbor count.
+		idxs := sess.shardIdx[:0]
+		for i := range items {
+			idxs = append(idxs, int32(ShardIndex(items[i].To, len(s.shards))))
+		}
+		sess.shardIdx = idxs
+		for i := 0; i < n; i++ {
+			sh := idxs[i]
+			if sh < 0 {
+				continue
+			}
+			group := append(sess.group[:0], items[i])
+			for j := i + 1; j < n; j++ {
+				if idxs[j] == sh {
+					group = append(group, items[j])
+					idxs[j] = -1
+				}
+			}
+			sess.group = group
+			s.shards[sh].pushBatch(group)
+		}
+		// The schedule owns copies now; drop the group scratch's packet
+		// references so a pooled buffer freed after delivery is not kept
+		// reachable by this session's idle scratch.
+		for i := range sess.group {
+			sess.group[i] = sched.Item{}
+		}
+	}
+	for i := range items {
+		items[i] = sched.Item{}
 	}
 }
 

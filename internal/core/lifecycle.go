@@ -148,19 +148,43 @@ type ShardStat struct {
 	Dispatched uint64 // deliveries fired by this shard's scanner
 	Entered    uint64 // deliveries listed into this shard's schedule
 	QueueDepth int    // summed send-queue depth of this shard's sessions
+
+	// Scanner loop accounting (see sched.ScannerStats): how many batch
+	// fires and clock-wait wakeups the shard's scanner performed, how
+	// many wakeups found nothing due, and how pushes interacted with the
+	// sleeping scanner (kick delivered vs elided because the scanner was
+	// already due no later than the pushed item).
+	FireBatches    uint64
+	Wakeups        uint64
+	SpuriousWakes  uint64
+	KicksDelivered uint64
+	KicksElided    uint64
+	// FireLocks and PushLocks count schedule-lock acquisitions on the
+	// fire and push sides; (FireLocks+PushLocks)/Dispatched is the
+	// lock-cycles-per-delivery figure the batch scheduler optimizes.
+	FireLocks uint64
+	PushLocks uint64
 }
 
 // ShardStats snapshots every shard's pipeline counters, in shard order.
 func (s *Server) ShardStats() []ShardStat {
 	out := make([]ShardStat, len(s.shards))
 	for i, sh := range s.shards {
+		st := sh.scanner.Stats()
 		out[i] = ShardStat{
-			Shard:      sh.idx,
-			Clients:    sh.clients(),
-			Scheduled:  sh.scanner.Pending(),
-			Dispatched: sh.scanner.Dispatched(),
-			Entered:    sh.entered.Load(),
-			QueueDepth: sh.queueDepth(),
+			Shard:          sh.idx,
+			Clients:        sh.clients(),
+			Scheduled:      sh.scanner.Pending(),
+			Dispatched:     st.Dispatched,
+			Entered:        sh.entered.Load(),
+			QueueDepth:     sh.queueDepth(),
+			FireBatches:    st.Batches,
+			Wakeups:        st.Wakeups,
+			SpuriousWakes:  st.SpuriousWakes,
+			KicksDelivered: st.KicksDelivered,
+			KicksElided:    st.KicksElided,
+			FireLocks:      st.FireLocks,
+			PushLocks:      st.PushLocks,
 		}
 	}
 	return out

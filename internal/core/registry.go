@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/radio"
+	"repro/internal/sched"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -44,6 +45,14 @@ type session struct {
 	// performs no per-packet allocation. Only the session's own reader
 	// goroutine touches it.
 	kept []keptTarget
+	// items, group and shardIdx are ingest's scratch for coalescing one
+	// packet's scheduled deliveries into per-destination-shard batches
+	// (pushItems): items collects the built schedule entries, shardIdx
+	// their shard assignments, group the slice handed to one shard.
+	// Same reader-goroutine confinement as kept.
+	items    []sched.Item
+	group    []sched.Item
+	shardIdx []int32
 	// wmsgs is the writer's scratch for assembling one flush batch into
 	// wire messages (writeBatch). Only the session's writer goroutine
 	// touches it.

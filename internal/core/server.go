@@ -142,6 +142,12 @@ type ServerConfig struct {
 	// epoch views. Kept as an ablation knob for BenchmarkDispatchParallel
 	// so the locked/snapshot comparison measures the same pipeline.
 	LockedDispatch bool
+	// ScanBatch caps how many due deliveries a shard's scanner drains
+	// per lock acquisition (sched.Scanner.SetBatchLimit). Zero keeps the
+	// scanner default (sched.DefaultFireBatch); 1 restores the
+	// pre-batching single-fire loop and is the A7 ablation baseline.
+	// Negative is an error.
+	ScanBatch int
 }
 
 // DefaultObsSampleEvery is the per-session sampling period for stage
@@ -230,6 +236,7 @@ type Server struct {
 	hSend       *obs.Histogram // wall ns: the writer's batch flush
 	hDeliverLag *obs.Histogram // emulation ns: departure fired past its due time
 	hFlushBatch *obs.Histogram // entries per session-writer flush (every batch)
+	hFireBatch  *obs.Histogram // due deliveries drained per scanner lock cycle (every batch)
 }
 
 // ServerStats is a snapshot of server counters.
@@ -267,6 +274,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, errors.New("core: ServerConfig.Shards must not be negative")
+	}
+	if cfg.ScanBatch < 0 {
+		return nil, errors.New("core: ServerConfig.ScanBatch must not be negative")
 	}
 	if cfg.Shards == 0 {
 		if cfg.Queue != nil {
@@ -366,6 +376,7 @@ func (s *Server) instrument(cfg ServerConfig) {
 	s.hSend = reg.Histogram("poem_send_ns", "wall time of the session writer's batch flush (sampled)")
 	s.hDeliverLag = reg.Histogram("poem_deliver_lag_ns", "emulation time a departure fired past its scheduled due time (sampled)")
 	s.hFlushBatch = reg.Histogram("poem_flush_batch_entries", "queue entries coalesced per session-writer flush")
+	s.hFireBatch = reg.Histogram("poem_sched_fire_batch_entries", "due deliveries drained per scanner lock cycle")
 
 	reg.Gauge("poem_clients", "connected sessions", func() float64 {
 		n := 0
@@ -394,10 +405,23 @@ func (s *Server) instrument(cfg ServerConfig) {
 			"deliveries listed into this shard's schedule")
 		reg.CounterFunc(obs.Labeled("poem_shard_dispatched_total", "shard", idx),
 			"deliveries fired by this shard's scanner", sh.scanner.Dispatched)
+		reg.CounterFunc(obs.Labeled("poem_shard_wakeups_total", "shard", idx),
+			"times this shard's scanner woke from its clock wait",
+			func() uint64 { return sh.scanner.Stats().Wakeups })
+		reg.CounterFunc(obs.Labeled("poem_shard_spurious_wakeups_total", "shard", idx),
+			"scanner wakeups that found nothing due",
+			func() uint64 { return sh.scanner.Stats().SpuriousWakes })
+		reg.CounterFunc(obs.Labeled("poem_shard_kicks_delivered_total", "shard", idx),
+			"schedule pushes that woke this shard's sleeping scanner",
+			func() uint64 { return sh.scanner.Stats().KicksDelivered })
+		reg.CounterFunc(obs.Labeled("poem_shard_kicks_elided_total", "shard", idx),
+			"schedule pushes that skipped the wake (scanner already due earlier)",
+			func() uint64 { return sh.scanner.Stats().KicksElided })
 		reg.Gauge(obs.Labeled("poem_shard_scheduled", "shard", idx),
 			"this shard's schedule depth", func() float64 { return float64(sh.scanner.Pending()) })
 		reg.Gauge(obs.Labeled("poem_shard_clients", "shard", idx),
 			"sessions registered on this shard", func() float64 { return float64(sh.clients()) })
+		sh.scanner.SetBatchObserver(func(n int) { s.hFireBatch.Observe(time.Duration(n)) })
 	}
 
 	cfg.Scene.Instrument(reg)

@@ -61,6 +61,9 @@ type shard struct {
 func newShard(idx int, srv *Server, q sched.Queue) *shard {
 	sh := &shard{idx: idx, srv: srv, sessions: make(map[radio.NodeID]*session)}
 	sh.scanner = sched.NewScanner(q, srv.cfg.Clock, sh.deliver)
+	if srv.cfg.ScanBatch > 0 {
+		sh.scanner.SetBatchLimit(srv.cfg.ScanBatch)
+	}
 	return sh
 }
 
@@ -91,6 +94,20 @@ func (sh *shard) push(it sched.Item) {
 	sh.entered.Inc()
 	sh.srv.mEntered.Inc()
 	sh.scanner.Push(it)
+}
+
+// pushBatch lists several deliveries for sessions on this shard in one
+// schedule-lock acquisition (and at most one scanner kick) — the fan-out
+// fast path: a broadcast whose survivors share a destination shard costs
+// one lock cycle instead of one per target. Order within items is
+// preserved, so per-destination FIFO is untouched.
+func (sh *shard) pushBatch(items []sched.Item) {
+	if len(items) == 0 {
+		return
+	}
+	sh.entered.Add(uint64(len(items)))
+	sh.srv.mEntered.Add(uint64(len(items)))
+	sh.scanner.PushBatch(items)
 }
 
 // queuesDrained reports whether every session on this shard has an

@@ -92,6 +92,78 @@ func TestServerConfigShardResolution(t *testing.T) {
 	}
 }
 
+// pushItems must land every delivery on the shard owning its
+// destination, preserve the original relative order inside each shard
+// (the per-destination FIFO carrier), count every entry into the
+// conservation ledger, and take each hit shard's schedule lock exactly
+// once for the whole packet.
+func TestPushItemsGroupsByShardPreservingOrder(t *testing.T) {
+	const shards = 4
+	sc, clk := shardTestScene()
+	srv, err := NewServer(ServerConfig{Clock: clk, Scene: sc, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	due := vclock.FromMillis(5)
+	var items []sched.Item
+	for id := radio.NodeID(1); id <= 32; id++ {
+		items = append(items, sched.Item{Due: due, To: id})
+	}
+	sess := &session{}
+	sess.items = append(sess.items, items...)
+	srv.pushItems(sess, sess.items)
+
+	if got := srv.mEntered.Load(); got != uint64(len(items)) {
+		t.Errorf("mEntered = %d, want %d", got, len(items))
+	}
+	for si, sh := range srv.shards {
+		var want []radio.NodeID
+		for _, it := range items {
+			if ShardIndex(it.To, shards) == si {
+				want = append(want, it.To)
+			}
+		}
+		var got []radio.NodeID
+		sh.scanner.Drain(func(it sched.Item) { got = append(got, it.To) })
+		if len(got) != len(want) {
+			t.Fatalf("shard %d drained %v, want %v", si, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d order %v, want %v (batching broke FIFO)", si, got, want)
+			}
+		}
+		if n := sh.entered.Load(); n != uint64(len(want)) {
+			t.Errorf("shard %d entered %d, want %d", si, n, len(want))
+		}
+		if st := sh.scanner.Stats(); len(want) > 0 && st.PushLocks != 1 {
+			t.Errorf("shard %d took %d push locks for one packet, want 1", si, st.PushLocks)
+		}
+	}
+	// The scratch must not keep packet references once the schedule owns
+	// the copies.
+	for i, it := range sess.items {
+		if it.To != 0 || it.Due != 0 || it.Pkt.Buf != nil {
+			t.Fatalf("scratch item %d not cleared: %+v", i, it)
+		}
+	}
+
+	// The single-target fast path still routes and counts correctly.
+	sess.items = append(sess.items[:0], sched.Item{Due: due, To: 9})
+	srv.pushItems(sess, sess.items)
+	sh := srv.shardOf(9)
+	fired := 0
+	sh.scanner.Drain(func(it sched.Item) {
+		fired++
+		if it.To != 9 {
+			t.Errorf("single push routed to wrong item %+v", it)
+		}
+	})
+	if fired != 1 {
+		t.Errorf("single push fired %d items, want 1", fired)
+	}
+}
+
 // crossShardIDs picks one VMN id per shard at the given count, so every
 // src→dst pair in the returned set crosses a shard boundary.
 func crossShardIDs(t *testing.T, shards int) []radio.NodeID {
@@ -127,7 +199,12 @@ func TestCrossShardAllPairsFIFOAndConservation(t *testing.T) {
 		}
 	}
 
-	r := newRig(t, func(c *ServerConfig) { c.Shards = shards })
+	// Depth must exceed the 300 deliveries a destination can accumulate:
+	// on a loaded single-core host the writer goroutine may not run until
+	// the whole burst has fired, and the default 256-deep queue would
+	// legitimately evict a packet (drop-oldest), failing the zero-drop
+	// assertion below for capacity reasons rather than correctness ones.
+	r := newRig(t, func(c *ServerConfig) { c.Shards = shards; c.SendQueueDepth = 1024 })
 	r.scene.SetLinkModel(1, uniformModel(time.Millisecond))
 	for i, id := range ids {
 		r.scene.AddNode(id, geom.V(float64(i)*10, 0), oneRadio(1, 500))
@@ -193,6 +270,10 @@ func TestCrossShardAllPairsFIFOAndConservation(t *testing.T) {
 				rr.mu.Lock()
 				t.Logf("dst %d: %d/%d", id, rr.total, n*(shards-1))
 				rr.mu.Unlock()
+			}
+			t.Logf("server stats: %+v", r.server.Stats())
+			for _, ss := range r.server.ShardStats() {
+				t.Logf("shard: %+v", ss)
 			}
 			t.Fatal("all-pairs traffic never fully delivered")
 		}

@@ -40,6 +40,12 @@ type Queue interface {
 	Push(it Item)
 	// PopDue removes and returns the earliest item whose Due ≤ now.
 	PopDue(now vclock.Time) (Item, bool)
+	// PopDueBatch removes up to len(buf) due items into buf and returns
+	// how many it wrote. The sequence written is exactly what repeated
+	// PopDue calls would have yielded — (Due, seq) order preserved — so
+	// the batch scanner drains a burst in one lock acquisition without
+	// changing fire order.
+	PopDueBatch(now vclock.Time, buf []Item) int
 	// NextDue reports the earliest departure time, if any.
 	NextDue() (vclock.Time, bool)
 	// Len returns the number of queued items.
@@ -126,6 +132,22 @@ func (q *HeapQueue) PopDue(now vclock.Time) (Item, bool) {
 	return it, true
 }
 
+// PopDueBatch implements Queue. Each pop is one sift-down; there is no
+// cheaper bulk extraction from a binary heap, so the batch win here is
+// purely the caller's — one lock cycle for the whole run of due items.
+func (q *HeapQueue) PopDueBatch(now vclock.Time, buf []Item) int {
+	n := 0
+	for n < len(buf) {
+		it, ok := q.PopDue(now)
+		if !ok {
+			break
+		}
+		buf[n] = it
+		n++
+	}
+	return n
+}
+
 // NextDue implements Queue.
 func (q *HeapQueue) NextDue() (vclock.Time, bool) {
 	if len(q.h) == 0 {
@@ -178,8 +200,35 @@ func (q *ListQueue) PopDue(now vclock.Time) (Item, bool) {
 	it := q.items[q.head]
 	q.items[q.head] = Item{}
 	q.head++
+	q.maybeCompact()
+	return it, true
+}
+
+// PopDueBatch implements Queue. The list is kept sorted, so the due
+// items are one contiguous prefix: a single binary search bounds it and
+// one copy extracts it.
+func (q *ListQueue) PopDueBatch(now vclock.Time, buf []Item) int {
+	live := q.items[q.head:]
+	if len(live) == 0 || len(buf) == 0 || live[0].Due > now {
+		return 0
+	}
+	k := sort.Search(len(live), func(i int) bool { return live[i].Due > now })
+	if k > len(buf) {
+		k = len(buf)
+	}
+	copy(buf, live[:k])
+	for i := 0; i < k; i++ {
+		live[i] = Item{} // release payload memory
+	}
+	q.head += k
+	q.maybeCompact()
+	return k
+}
+
+// maybeCompact reclaims the consumed prefix once it dominates the
+// backing array.
+func (q *ListQueue) maybeCompact() {
 	if q.head > 256 && q.head*2 > len(q.items) {
-		// Compact the consumed prefix.
 		n := copy(q.items, q.items[q.head:])
 		for i := n; i < len(q.items); i++ {
 			q.items[i] = Item{}
@@ -187,7 +236,6 @@ func (q *ListQueue) PopDue(now vclock.Time) (Item, bool) {
 		q.items = q.items[:n]
 		q.head = 0
 	}
-	return it, true
 }
 
 // NextDue implements Queue.

@@ -142,6 +142,89 @@ func TestQueueEquivalenceRandomized(t *testing.T) {
 	}
 }
 
+// Property: PopDueBatch is observationally identical to repeated PopDue
+// — same items, same (Due, seq) order, same residual queue — across all
+// three implementations, arbitrary interleavings, and arbitrary batch
+// buffer sizes (including buffers smaller than the due run).
+func TestPopDueBatchMatchesPopDue(t *testing.T) {
+	for name, mk := range queues() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(97))
+			single, batched := mk(), mk()
+			now := vclock.Time(0)
+			buf := make([]Item, 17)
+			for step := 0; step < 5000; step++ {
+				if rng.Intn(3) > 0 {
+					due := now + vclock.FromMillis(int64(rng.Intn(500)))
+					it := Item{Due: due, Pkt: wire.Packet{Seq: uint32(step)}}
+					single.Push(it)
+					batched.Push(it)
+					continue
+				}
+				now += vclock.FromMillis(int64(rng.Intn(50)))
+				var fromSingle, fromBatch []Item
+				for {
+					it, ok := single.PopDue(now)
+					if !ok {
+						break
+					}
+					fromSingle = append(fromSingle, it)
+				}
+				for {
+					// Vary the batch size so runs split across calls at
+					// every alignment, the way a capped scanner buffer would.
+					n := batched.PopDueBatch(now, buf[:1+rng.Intn(len(buf))])
+					if n == 0 {
+						break
+					}
+					fromBatch = append(fromBatch, buf[:n]...)
+				}
+				if len(fromSingle) != len(fromBatch) {
+					t.Fatalf("step %d: drained %d vs %d items", step, len(fromSingle), len(fromBatch))
+				}
+				for i := range fromSingle {
+					if fromSingle[i].Due != fromBatch[i].Due || fromSingle[i].Pkt.Seq != fromBatch[i].Pkt.Seq {
+						t.Fatalf("step %d item %d: (%v,%d) vs (%v,%d)", step, i,
+							fromSingle[i].Due, fromSingle[i].Pkt.Seq, fromBatch[i].Due, fromBatch[i].Pkt.Seq)
+					}
+				}
+				if single.Len() != batched.Len() {
+					t.Fatalf("step %d: residual Len %d vs %d", step, single.Len(), batched.Len())
+				}
+			}
+		})
+	}
+}
+
+// A batch buffer larger than the queue must drain it fully; an empty or
+// zero-length buffer must be a no-op.
+func TestPopDueBatchEdgeCases(t *testing.T) {
+	for name, mk := range queues() {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			if n := q.PopDueBatch(vclock.FromSeconds(1), make([]Item, 4)); n != 0 {
+				t.Fatalf("empty queue returned %d", n)
+			}
+			for i := 0; i < 5; i++ {
+				q.Push(Item{Due: vclock.FromMillis(int64(i)), Pkt: wire.Packet{Seq: uint32(i)}})
+			}
+			if n := q.PopDueBatch(vclock.FromSeconds(1), nil); n != 0 {
+				t.Fatalf("nil buffer returned %d", n)
+			}
+			buf := make([]Item, 32)
+			n := q.PopDueBatch(vclock.FromSeconds(1), buf)
+			if n != 5 || q.Len() != 0 {
+				t.Fatalf("drained %d, residual %d", n, q.Len())
+			}
+			for i := 0; i < 5; i++ {
+				if buf[i].Pkt.Seq != uint32(i) {
+					t.Fatalf("order: %v", buf[:n])
+				}
+			}
+		})
+	}
+}
+
 func TestWheelOverflow(t *testing.T) {
 	// Horizon = 10ms × 4 slots = 40ms; schedule far beyond it.
 	q := NewWheel(vclock.FromMillis(10), 4)

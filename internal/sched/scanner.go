@@ -1,49 +1,120 @@
 package sched
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vclock"
 )
 
+// DefaultFireBatch is how many due items the scanner drains from the
+// schedule per lock acquisition when no explicit limit is set. The
+// batch buffer is allocated once at Start (256 × ~100 B ≈ 25 KiB per
+// shard); past a few hundred entries a deeper batch only grows the
+// buffer without amortizing anything further.
+const DefaultFireBatch = 256
+
+// scannerAwake is the sleepDue sentinel for "not sleeping": the scanner
+// is in its fire loop and will re-read the schedule before parking, so
+// a racing Push must deliver its kick.
+const scannerAwake = math.MinInt64
+
 // Scanner is the paper's "scanning thread" (§3.2 step 5): it watches
 // the schedule and, as the emulation clock reaches each departure time,
-// hands the item to the dispatch function (which runs the send on its
-// own goroutine, step 6). Push may be called from any number of
+// hands items to the dispatch function (which runs the send on the
+// session's writer, step 6). Push may be called from any number of
 // scheduling goroutines; an early-deadline push wakes the scanner so a
 // newly scheduled packet can overtake a sleeping later one.
+//
+// The hot loop is batch-shaped: one lock acquisition drains every due
+// item into a reusable buffer (Queue.PopDueBatch) and dispatch runs
+// outside the lock, so a storm of n due departures costs ~n/batch lock
+// cycles instead of 2n. Sleeping allocates nothing and spawns no
+// goroutine (vclock.Waiter), and a Push whose deadline does not beat
+// the one the scanner is already sleeping toward elides its wakeup
+// entirely (kick elision — see maybeKick).
 type Scanner struct {
 	clk      vclock.WaitClock
 	dispatch func(Item)
+	waiter   vclock.Waiter
+	batchCap int
+	onBatch  func(int) // optional fire-batch-size observer (obs)
 
 	mu   sync.Mutex
 	q    Queue
-	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
-	// inFlight marks the window between PopDue handing the scanner an
-	// item and dispatch returning. Pending counts it, so "Pending()==0"
-	// means every fired item has fully left the scanner — without it a
-	// drain check could observe an empty queue while the last item is
-	// still on its way to a session queue.
-	inFlight bool
-	// stats
-	dispatched uint64
+
+	// sleepDue publishes the deadline the scanner is currently sleeping
+	// toward (vclock.Max while idle, scannerAwake while firing). It is
+	// stored inside the same critical section that read NextDue, so a
+	// Push serialized after that section reads a value consistent with
+	// what the scanner saw — the invariant kick elision rests on.
+	sleepDue atomic.Int64
+
+	// inFlight counts items popped from the schedule whose dispatch has
+	// not returned yet. Pending adds it to the queue depth, so
+	// "Pending()==0" still means every fired item has fully left the
+	// scanner — without it a drain check could observe an empty queue
+	// while a batch is still on its way to the session queues.
+	inFlight   atomic.Int64
+	dispatched atomic.Uint64
+
+	// stats (see ScannerStats)
+	batches        atomic.Uint64
+	wakeups        atomic.Uint64
+	spuriousWakes  atomic.Uint64
+	kicksDelivered atomic.Uint64
+	kicksElided    atomic.Uint64
+	fireLocks      atomic.Uint64
+	pushLocks      atomic.Uint64
+}
+
+// ScannerStats is a snapshot of the scanner's hot-loop accounting. The
+// lock counters exist so benchmarks can report lock acquisitions per
+// fired item — the quantity batching is meant to shrink — without
+// instrumenting sync.Mutex itself.
+type ScannerStats struct {
+	Dispatched     uint64 // items fired
+	Batches        uint64 // non-empty fire batches (Dispatched/Batches = mean depth)
+	Wakeups        uint64 // sleeps that returned, for any reason
+	SpuriousWakes  uint64 // wakeups that found nothing due
+	KicksDelivered uint64 // pushes that woke (or would wake) the scanner
+	KicksElided    uint64 // pushes whose deadline lost to the slept-on one
+	FireLocks      uint64 // scanner-side lock acquisitions (pop + sleep setup)
+	PushLocks      uint64 // producer-side lock acquisitions (Push/PushBatch)
 }
 
 // NewScanner wraps queue q. dispatch is invoked on the scanner
-// goroutine; it must hand long work off (the server gives each send its
-// own goroutine, per the paper).
+// goroutine; it must hand long work off (the server gives each session
+// a dedicated writer, per the paper).
 func NewScanner(q Queue, clk vclock.WaitClock, dispatch func(Item)) *Scanner {
-	return &Scanner{
+	s := &Scanner{
 		clk:      clk,
 		dispatch: dispatch,
+		waiter:   vclock.NewWaiter(clk),
+		batchCap: DefaultFireBatch,
 		q:        q,
-		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.sleepDue.Store(scannerAwake)
+	return s
 }
+
+// SetBatchLimit bounds how many due items one lock acquisition may
+// drain. 1 reproduces the pre-batching single-fire loop exactly (the A7
+// ablation baseline). Call before Start.
+func (s *Scanner) SetBatchLimit(n int) {
+	if n > 0 {
+		s.batchCap = n
+	}
+}
+
+// SetBatchObserver installs fn to observe each non-empty fire batch's
+// size, on the scanner goroutine. Call before Start.
+func (s *Scanner) SetBatchObserver(fn func(int)) { s.onBatch = fn }
 
 // Start launches the scanning goroutine.
 func (s *Scanner) Start() {
@@ -59,6 +130,7 @@ func (s *Scanner) Stop() {
 	default:
 	}
 	close(s.stop)
+	s.waiter.Wake()
 	<-s.done
 }
 
@@ -82,90 +154,142 @@ func (s *Scanner) Drain(fn func(Item)) int {
 	return n
 }
 
-// Push schedules an item and wakes the scanner if needed.
+// Push schedules an item and wakes the scanner if its deadline requires
+// it.
 func (s *Scanner) Push(it Item) {
 	s.mu.Lock()
+	s.pushLocks.Add(1)
 	s.q.Push(it)
 	s.mu.Unlock()
-	select {
-	case s.kick <- struct{}{}:
-	default: // a wakeup is already pending
-	}
+	s.maybeKick(it.Due)
 }
 
-// Pending returns the current schedule depth, counting an item the
+// PushBatch schedules a group of items under one lock acquisition with
+// at most one wakeup — the producer-side half of the batching bargain.
+// Items are pushed in slice order, so relative (Due, seq) FIFO between
+// them matches len(items) sequential Push calls exactly.
+func (s *Scanner) PushBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	earliest := items[0].Due
+	s.mu.Lock()
+	s.pushLocks.Add(1)
+	for i := range items {
+		s.q.Push(items[i])
+		if items[i].Due < earliest {
+			earliest = items[i].Due
+		}
+	}
+	s.mu.Unlock()
+	s.maybeKick(earliest)
+}
+
+// maybeKick wakes the scanner after a push, unless the pushed deadline
+// cannot change what the scanner does next: while it sleeps toward D,
+// an item due at or after D will be picked up by the D wakeup's
+// schedule re-read anyway, so the kick is elided. While awake
+// (scannerAwake) the scanner may be about to park on a stale NextDue,
+// so the kick must be delivered; stale reads of sleepDue are possible
+// only in that direction (see the sleepDue comment), which makes
+// elision safe and over-kicking the worst case.
+func (s *Scanner) maybeKick(due vclock.Time) {
+	if d := s.sleepDue.Load(); d != scannerAwake && vclock.Time(d) <= due {
+		s.kicksElided.Add(1)
+		return
+	}
+	s.kicksDelivered.Add(1)
+	s.waiter.Wake()
+}
+
+// Pending returns the current schedule depth, counting items the
 // scanner has popped but not yet finished dispatching.
 func (s *Scanner) Pending() int {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := s.q.Len()
-	if s.inFlight {
-		n++
-	}
+	n := s.q.Len() + int(s.inFlight.Load())
+	s.mu.Unlock()
 	return n
 }
 
-// Dispatched returns how many items have been fired so far.
-func (s *Scanner) Dispatched() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dispatched
+// Dispatched returns how many items have been fired so far. Lock-free:
+// stats polling never contends with the fire loop.
+func (s *Scanner) Dispatched() uint64 { return s.dispatched.Load() }
+
+// Stats snapshots the scanner's hot-loop counters. Lock-free.
+func (s *Scanner) Stats() ScannerStats {
+	return ScannerStats{
+		Dispatched:     s.dispatched.Load(),
+		Batches:        s.batches.Load(),
+		Wakeups:        s.wakeups.Load(),
+		SpuriousWakes:  s.spuriousWakes.Load(),
+		KicksDelivered: s.kicksDelivered.Load(),
+		KicksElided:    s.kicksElided.Load(),
+		FireLocks:      s.fireLocks.Load(),
+		PushLocks:      s.pushLocks.Load(),
+	}
 }
 
 func (s *Scanner) run() {
 	defer close(s.done)
+	batch := make([]Item, s.batchCap)
+	woke := false
 	for {
-		// Fire everything due.
+		// Fire everything due, one batch per lock cycle. inFlight and
+		// dispatched commit inside the critical section that popped the
+		// items, so Pending/Dispatched readers never observe the gap.
+		first := true
 		for {
 			now := s.clk.Now()
 			s.mu.Lock()
-			it, ok := s.q.PopDue(now)
-			if ok {
-				s.dispatched++
-				s.inFlight = true
+			s.fireLocks.Add(1)
+			n := s.q.PopDueBatch(now, batch)
+			if n > 0 {
+				s.inFlight.Add(int64(n))
+				s.dispatched.Add(uint64(n))
 			}
 			s.mu.Unlock()
-			if !ok {
+			if n == 0 {
+				if woke && first {
+					s.spuriousWakes.Add(1)
+				}
 				break
 			}
-			s.dispatch(it)
-			s.mu.Lock()
-			s.inFlight = false
-			s.mu.Unlock()
-		}
-		// Sleep until the next departure, a push, or stop.
-		s.mu.Lock()
-		next, ok := s.q.NextDue()
-		s.mu.Unlock()
-		if !ok {
-			select {
-			case <-s.kick:
-				continue
-			case <-s.stop:
-				return
+			first = false
+			s.batches.Add(1)
+			if s.onBatch != nil {
+				s.onBatch(n)
+			}
+			for i := 0; i < n; i++ {
+				s.dispatch(batch[i])
+				batch[i] = Item{} // release payload memory
+				s.inFlight.Add(-1)
 			}
 		}
-		if s.waitOrWake(next) {
+		select {
+		case <-s.stop:
 			return
+		default:
 		}
-	}
-}
-
-// waitOrWake blocks until `next`, a kick, or stop; reports stop.
-func (s *Scanner) waitOrWake(next vclock.Time) (stopped bool) {
-	cancel := make(chan struct{})
-	waitDone := make(chan bool, 1)
-	go func() { waitDone <- s.clk.Wait(next, cancel) }()
-	select {
-	case <-waitDone:
-		return false
-	case <-s.kick:
-		close(cancel)
-		<-waitDone
-		return false
-	case <-s.stop:
-		close(cancel)
-		<-waitDone
-		return true
+		// Sleep until the next departure or a kick. sleepDue is stored
+		// under the same lock that read NextDue: any push serialized
+		// after this section sees the fresh deadline and may elide; any
+		// push serialized before it is already inside `next`.
+		s.mu.Lock()
+		s.fireLocks.Add(1)
+		next, ok := s.q.NextDue()
+		if !ok {
+			next = vclock.Max // idle: only a push or Stop ends this sleep
+		}
+		s.sleepDue.Store(int64(next))
+		s.mu.Unlock()
+		s.waiter.Wait(next)
+		s.sleepDue.Store(scannerAwake)
+		s.wakeups.Add(1)
+		woke = true
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
 	}
 }

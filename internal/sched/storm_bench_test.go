@@ -1,0 +1,107 @@
+package sched
+
+// Schedule-storm benchmarks for the batch-firing scanner. The storm
+// shape — several producers pushing items that come due almost at once —
+// is the §3.2 hot path under fan-out, where the pre-batching loop paid
+// two mutex cycles per fired packet plus a goroutine per sleep.
+//
+// Baseline numbers live in BENCH_sched.json at the repo root; refresh
+// with:
+//
+//	go test ./internal/sched -run='^$' -bench='ScannerStorm|ScannerSleepFire' -benchmem
+//
+// On a single-core host the lock/wakeup/alloc counters are the primary
+// result (contention wins need parallelism to show up in wall time);
+// re-record wall-clock figures on a multi-core machine.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// BenchmarkScannerStorm drives a 4-producer schedule storm through one
+// scanner and reports the accounting the batching is meant to improve:
+// scanner-side lock acquisitions per fired item (fire-locks/item), total
+// lock cycles per item including the producer side (locks/item), mean
+// fire-batch depth, and wakeups per item. batch=1 is the pre-batching
+// single-fire loop, the A7 ablation baseline.
+func BenchmarkScannerStorm(b *testing.B) {
+	for _, batch := range []int{1, DefaultFireBatch} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			clk := vclock.NewSystem(1000) // 1 ms wall = 1 s emulated
+			var fired atomic.Int64
+			doneAll := make(chan struct{})
+			var once sync.Once
+			total := int64(b.N)
+			s := NewScanner(NewHeap(), clk, func(Item) {
+				if fired.Add(1) == total {
+					once.Do(func() { close(doneAll) })
+				}
+			})
+			s.SetBatchLimit(batch)
+			s.Start()
+			defer s.Stop()
+			b.ReportAllocs()
+			b.ResetTimer()
+			const pushers = 4
+			var wg sync.WaitGroup
+			for g := 0; g < pushers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					// Deadlines spread over ~64 ms emulated (64 µs wall):
+					// every push lands in a burst that is due by the time
+					// the scanner gets around to it — the storm regime.
+					for i := g; i < b.N; i += pushers {
+						s.Push(Item{Due: clk.Now().Add(time.Duration(i%64) * time.Millisecond)})
+					}
+				}(g)
+			}
+			wg.Wait()
+			<-doneAll
+			b.StopTimer()
+			st := s.Stats()
+			n := float64(st.Dispatched)
+			if n == 0 {
+				return
+			}
+			batches := float64(st.Batches)
+			if batches == 0 {
+				batches = 1
+			}
+			b.ReportMetric(float64(st.FireLocks)/n, "fire-locks/item")
+			b.ReportMetric(float64(st.FireLocks+st.PushLocks)/n, "locks/item")
+			b.ReportMetric(n/batches, "items/batch")
+			b.ReportMetric(float64(st.Wakeups)/n, "wakeups/item")
+			if kicks := st.KicksElided + st.KicksDelivered; kicks > 0 {
+				b.ReportMetric(float64(st.KicksElided)/float64(kicks), "elide-rate")
+			}
+		})
+	}
+}
+
+// BenchmarkScannerSleepFire measures one complete push → sleep → wake →
+// fire → re-park cycle. The allocation figure is the acceptance gate
+// (scripts/check_allocs.sh): a scanner sleep must allocate nothing and
+// spawn no goroutine, where the old shape paid one goroutine and two
+// channels per sleep.
+func BenchmarkScannerSleepFire(b *testing.B) {
+	clk := vclock.NewSystem(1000) // 2 ms emulated = 2 µs wall per sleep
+	fired := make(chan struct{}, 1)
+	s := NewScanner(NewHeap(), clk, func(Item) { fired <- struct{}{} })
+	s.Start()
+	defer s.Stop()
+	s.Push(Item{Due: clk.Now().Add(2 * time.Millisecond)})
+	<-fired // warm the schedule's backing array
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(Item{Due: clk.Now().Add(2 * time.Millisecond)})
+		<-fired
+	}
+}

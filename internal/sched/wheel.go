@@ -128,6 +128,43 @@ func (q *WheelQueue) PopDue(now vclock.Time) (Item, bool) {
 	return it, true
 }
 
+// PopDueBatch implements Queue. The due items of the cursor slot are a
+// sorted prefix, so each slot contributes one copy instead of the
+// per-pop head shift PopDue pays; the wheel advances between slots
+// exactly as repeated PopDue would.
+func (q *WheelQueue) PopDueBatch(now vclock.Time, buf []Item) int {
+	n := 0
+	for n < len(buf) {
+		if q.size == 0 {
+			break
+		}
+		q.advance(now)
+		s := &q.slots[q.cursor]
+		if s.empty() {
+			break // cursor slot covers `now` and holds nothing: done
+		}
+		s.ensureSorted()
+		k := 0
+		for k < len(s.items) && n+k < len(buf) && s.items[k].Due <= now {
+			k++
+		}
+		if k == 0 {
+			// The slot's earliest item is beyond `now`, and every other
+			// slot starts later still: nothing more is due.
+			break
+		}
+		copy(buf[n:], s.items[:k])
+		rest := copy(s.items, s.items[k:])
+		for i := rest; i < len(s.items); i++ {
+			s.items[i] = Item{}
+		}
+		s.items = s.items[:rest]
+		q.size -= k
+		n += k
+	}
+	return n
+}
+
 // NextDue implements Queue. The answer is exact: the cursor slot is
 // sorted on demand and non-cursor state is inspected conservatively.
 func (q *WheelQueue) NextDue() (vclock.Time, bool) {

@@ -124,9 +124,22 @@ type Manual struct {
 	waiters []*manualWaiter
 }
 
+// manualWaiter is one registered deadline. ch is 1-buffered and fired
+// by a non-blocking send (not a close), so a waiter can be re-registered
+// across sleeps — the reusable Waiter in waiter.go depends on it.
 type manualWaiter struct {
 	deadline Time
 	ch       chan struct{}
+}
+
+// fire wakes the waiter. Non-blocking: if a token is already buffered
+// (a racing Wake), the receiver wakes regardless and resolves which
+// event happened by checking its registration.
+func (w *manualWaiter) fire() {
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
 }
 
 // NewManual returns a Manual clock set to start.
@@ -151,7 +164,7 @@ func (m *Manual) Set(t Time) {
 	fired := m.collectDueLocked()
 	m.mu.Unlock()
 	for _, w := range fired {
-		close(w.ch)
+		w.fire()
 	}
 }
 
@@ -194,7 +207,9 @@ func (m *Manual) Wait(t Time, cancel <-chan struct{}) bool {
 		m.mu.Unlock()
 		return true
 	}
-	w := &manualWaiter{deadline: t, ch: make(chan struct{})}
+	// 1-buffered: fire() is a non-blocking send, so the buffer is what
+	// guarantees a wakeup issued before this goroutine parks is kept.
+	w := &manualWaiter{deadline: t, ch: make(chan struct{}, 1)}
 	m.waiters = append(m.waiters, w)
 	m.mu.Unlock()
 	select {

@@ -30,3 +30,25 @@ echo "$OUT" | awk -v budget="$BUDGET" '
 ' || { echo "alloc gate: FAILED (budget ${BUDGET} allocs/op)"; exit 1; }
 
 echo "alloc gate: OK (every fan-out bench within ${BUDGET} allocs/op)"
+
+# The batch-firing scanner's sleep/fire cycle must allocate NOTHING:
+# the reusable clock waiter replaced the goroutine-plus-two-channels
+# per sleep, and any new allocation here is a regression on the hottest
+# idle-to-fire edge (BENCH_sched.json records the baseline).
+SCHED=$(go test -run='^$' -bench='ScannerSleepFire' -benchmem -benchtime=100x ./internal/sched)
+echo "$SCHED"
+
+echo "$SCHED" | awk '
+	/allocs\/op/ {
+		seen = 1
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "allocs/op" && $i + 0 > 0) {
+				printf "FAIL: %s measured %s allocs/op, budget 0\n", $1, $i
+				bad = 1
+			}
+		}
+	}
+	END { exit bad || !seen }
+' || { echo "scanner alloc gate: FAILED (sleep/fire must be allocation-free)"; exit 1; }
+
+echo "scanner alloc gate: OK (sleep/fire cycle allocation-free)"
