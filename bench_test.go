@@ -217,12 +217,18 @@ func BenchmarkServerForwardPipeline(b *testing.B) {
 func BenchmarkSessionQueueFanout(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchSessionQueueFanout(b, shards)
+			benchSessionQueueFanout(b, shards, 0)
 		})
 	}
+	// Fidelity-monitor ablation (BENCH_rt.json): the same pipeline with
+	// deadline/health monitoring disabled. The default run above carries
+	// the monitor; this pins what it costs.
+	b.Run("shards=1/rt=off", func(b *testing.B) {
+		benchSessionQueueFanout(b, 1, -1)
+	})
 }
 
-func benchSessionQueueFanout(b *testing.B, shards int) {
+func benchSessionQueueFanout(b *testing.B, shards int, rtTol time.Duration) {
 	const receivers = 8
 	clk := vclock.NewSystem(1000)
 	sc := scene.New(radio.NewIndexed(250), clk, 1)
@@ -232,7 +238,9 @@ func benchSessionQueueFanout(b *testing.B, shards int) {
 			[]radio.Radio{{Channel: 1, Range: 500}})
 	}
 	reg := obs.NewRegistry()
-	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc, Obs: reg, Shards: shards})
+	srv, err := core.NewServer(core.ServerConfig{
+		Clock: clk, Scene: sc, Obs: reg, Shards: shards, RTTolerance: rtTol,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

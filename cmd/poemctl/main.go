@@ -115,12 +115,23 @@ func watch(exec func(string) ([]string, bool), interval time.Duration) {
 				rate := func(k string) float64 {
 					return float64(cur[k]-prev[k]) / dt
 				}
-				fmt.Printf("%s clients=%d sched=%d recv/s=%.0f fwd/s=%.0f drop/s=%.0f noroute/s=%.0f qdrop/s=%.0f clamp/s=%.0f\n",
+				health := parseField(lines[0], "health")
+				if health != "" {
+					health = " health=" + health
+				}
+				fmt.Printf("%s clients=%d sched=%d recv/s=%.0f fwd/s=%.0f drop/s=%.0f noroute/s=%.0f qdrop/s=%.0f clamp/s=%.0f%s\n",
 					now.Format("15:04:05"), cur["clients"], cur["scheduled"],
 					rate("received"), rate("forwarded"), rate("dropped"),
-					rate("noroute"), rate("queuedrops"), rate("stampclamped"))
+					rate("noroute"), rate("queuedrops"), rate("stampclamped"), health)
 				for _, l := range lines[1:] {
-					if t := strings.TrimSpace(l); strings.Contains(t, "samples=") {
+					t := strings.TrimSpace(l)
+					switch {
+					case strings.Contains(t, "samples="):
+						fmt.Printf("         %s\n", t)
+					case strings.HasPrefix(t, "shard ") && strings.Contains(t, "health=") &&
+						parseField(t, "health") != "healthy":
+						// Live fidelity alerting: a shard that is not keeping
+						// real time surfaces in the watch stream immediately.
 						fmt.Printf("         %s\n", t)
 					}
 				}
@@ -132,6 +143,17 @@ func watch(exec func(string) ([]string, bool), interval time.Duration) {
 		}
 		time.Sleep(interval)
 	}
+}
+
+// parseField extracts one "k=v" string field from a stats line ("" when
+// absent) — for the non-integer fields parseCounters skips.
+func parseField(line, key string) string {
+	for _, f := range strings.Fields(line) {
+		if k, v, found := strings.Cut(f, "="); found && k == key {
+			return v
+		}
+	}
+	return ""
 }
 
 // parseCounters splits a "k=v k=v ..." stats line into integers.

@@ -27,6 +27,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mbuf"
 	"repro/internal/obs"
+	"repro/internal/obs/fidelity"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
@@ -60,6 +61,9 @@ func main() {
 			"due deliveries a shard scanner fires per schedule-lock cycle (0 = default; 1 = single-fire ablation)")
 		leakCheck = flag.Bool("mbuf-leakcheck", false,
 			"poison freed packet buffers and verify on shutdown that none leaked (debug aid; costs one memset per free)")
+		rtTolerance = flag.Duration("rt-tolerance", 0,
+			"deadline-miss tolerance of the real-time fidelity monitor, in emulated time "+
+				"(0 = default 20ms; negative disables deadline/health monitoring)")
 	)
 	flag.Parse()
 
@@ -74,9 +78,19 @@ func main() {
 		SendQueueDepth: *sendQueue, MaxStampSkew: *maxSkew,
 		Obs: reg, Tracer: tracer, ObsSampleEvery: *sampleEvery,
 		Shards: *shards, ScanBatch: *scanBatch,
+		RTTolerance: *rtTolerance,
 	})
 	if err != nil {
 		log.Fatalf("poemd: %v", err)
+	}
+	if fid := srv.Fidelity(); fid != nil {
+		// Degrading must be loud: every worsening of the server-wide
+		// health state logs once, with the flight-recorder dump already
+		// captured for /fidelity/dump.
+		fid.SetOnBreach(func(st fidelity.State, d *fidelity.Dump) {
+			log.Printf("poemd: real-time fidelity breach: health=%s (flight recorder: %d events at /fidelity/dump)",
+				st, len(d.Events))
+		})
 	}
 
 	var wal *record.LogWriter
@@ -132,11 +146,19 @@ func main() {
 	// the store/WAL teardown below.
 	var dbg *obs.DebugServer
 	if *debugAddr != "" {
-		dbg, err = obs.ListenDebug(*debugAddr, obs.Handler(reg, tracer, serveDone))
+		var extras []obs.Endpoint
+		if fid := srv.Fidelity(); fid != nil {
+			extras = append(extras,
+				obs.Endpoint{Pattern: "/healthz", H: fid.HealthHandler()},
+				obs.Endpoint{Pattern: "/fidelity/trace", H: fid.TraceHandler()},
+				obs.Endpoint{Pattern: "/fidelity/dump", H: fid.DumpHandler()},
+			)
+		}
+		dbg, err = obs.ListenDebug(*debugAddr, obs.Handler(reg, tracer, serveDone, extras...))
 		if err != nil {
 			log.Fatalf("poemd: debug: %v", err)
 		}
-		log.Printf("poemd: debug on http://%s (/metrics /trace /debug/pprof)", dbg.Addr())
+		log.Printf("poemd: debug on http://%s (/metrics /trace /healthz /fidelity/{trace,dump} /debug/pprof)", dbg.Addr())
 	}
 
 	var ctrl *control.Server

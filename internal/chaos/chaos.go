@@ -79,6 +79,13 @@ type Config struct {
 	// parameter excluded from the digest: batched and single-fire
 	// scanning must execute the identical schedule.
 	ScanBatch int
+	// RTTolerance is the real-time fidelity monitor's deadline-miss
+	// tolerance (core.ServerConfig.RTTolerance; 0 = default, negative
+	// disables monitoring). Like Shards it is an execution parameter
+	// excluded from the digest: observing the pipeline's timeliness must
+	// never perturb the scenario, so one seed hashes identically with
+	// monitoring on or off.
+	RTTolerance time.Duration
 	// Sabotage injects a deliberate harness-side corruption so the
 	// invariant checkers can be shown to catch violations (self-test).
 	Sabotage Sabotage

@@ -224,6 +224,7 @@ func (r *Runner) setup() error {
 		Clock: r.clk, Scene: r.sc, Store: r.store, Seed: cfg.Seed,
 		SendQueueDepth: cfg.QueueDepth, Obs: r.reg, ObsSampleEvery: 4,
 		Shards: cfg.Shards, ScanBatch: cfg.ScanBatch,
+		RTTolerance: cfg.RTTolerance,
 	})
 	if err != nil {
 		return err

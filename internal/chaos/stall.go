@@ -1,0 +1,346 @@
+package chaos
+
+// Clock-stall scenario: the adversarial input the real-time fidelity
+// monitor (internal/obs/fidelity) exists to catch. A StallClock freezes
+// the server's emulation clock while traffic keeps arriving, then
+// releases it — emulated time leaps forward by the whole stall, every
+// delivery scheduled during the freeze fires hopelessly late in one
+// pile, and the monitor must (a) count the misses, (b) escalate the
+// health state machine, and (c) capture a flight-recorder dump of the
+// breach. This is the seeded, reproducible stand-in for the host-side
+// pathologies (GC pauses, CPU starvation, scheduler stalls) that make a
+// portable real-time emulator silently stop being real-time.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/linkmodel"
+	"repro/internal/obs"
+	"repro/internal/obs/fidelity"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// StallClock wraps a WaitClock with a freeze switch. While stalled,
+// Now() returns the instant the stall began; on Resume the reading
+// snaps back to the (still-running) inner clock, so emulated time leaps
+// forward by the whole stall at once — exactly the signature a host
+// stall leaves on a wall-clock-backed emulation. Wait degrades to a
+// poll so a waiter frozen mid-stall observes the leap promptly.
+type StallClock struct {
+	inner vclock.WaitClock
+
+	mu      sync.Mutex
+	stalled bool
+	at      vclock.Time
+}
+
+// NewStallClock wraps inner, initially running.
+func NewStallClock(inner vclock.WaitClock) *StallClock {
+	return &StallClock{inner: inner}
+}
+
+// Stall freezes the clock at its current reading. Idempotent.
+func (c *StallClock) Stall() {
+	c.mu.Lock()
+	if !c.stalled {
+		c.stalled = true
+		c.at = c.inner.Now()
+	}
+	c.mu.Unlock()
+}
+
+// Resume releases the freeze; the next Now() leaps to the inner
+// clock's reading. Idempotent.
+func (c *StallClock) Resume() {
+	c.mu.Lock()
+	c.stalled = false
+	c.mu.Unlock()
+}
+
+// Now returns the frozen instant while stalled, the inner reading
+// otherwise.
+func (c *StallClock) Now() vclock.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stalled {
+		return c.at
+	}
+	return c.inner.Now()
+}
+
+// Wait blocks until Now() reaches t or cancel fires. It polls rather
+// than delegating to the inner clock: during a stall the target is
+// unreachable until Resume, and after the leap the poll notices within
+// one interval.
+func (c *StallClock) Wait(t vclock.Time, cancel <-chan struct{}) bool {
+	for {
+		if c.Now() >= t {
+			return true
+		}
+		timer := time.NewTimer(200 * time.Microsecond)
+		select {
+		case <-timer.C:
+		case <-cancel:
+			timer.Stop()
+			return false
+		}
+	}
+}
+
+// StallConfig parameterizes one clock-stall scenario. The zero value
+// plus a seed is a sensible run.
+type StallConfig struct {
+	// Seed feeds the scene and names the run in failure reports.
+	Seed int64
+	// Clients is the broadcast population (default 8); every stalled
+	// broadcast fans out to Clients-1 deliveries.
+	Clients int
+	// Packets is how many broadcasts pile up behind the frozen clock
+	// (default 24).
+	Packets int
+	// Scale is the inner clock's time compression (default 50): a wall
+	// stall of Stall reads as Scale×Stall of emulated lag.
+	Scale float64
+	// Stall is the wall-clock freeze duration (default 40ms).
+	Stall time.Duration
+	// RTTolerance / RTWindow configure the fidelity monitor under test
+	// (defaults 5ms emulated / 32 deliveries — small so the stalled pile
+	// closes several evaluation windows).
+	RTTolerance time.Duration
+	RTWindow    int
+	// Shards is the server's pipeline shard count (default 1).
+	Shards int
+}
+
+func (c StallConfig) withDefaults() StallConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Packets <= 0 {
+		c.Packets = 24
+	}
+	if c.Scale <= 0 {
+		c.Scale = 50
+	}
+	if c.Stall <= 0 {
+		c.Stall = 40 * time.Millisecond
+	}
+	if c.RTTolerance == 0 {
+		c.RTTolerance = 5 * time.Millisecond
+	}
+	if c.RTWindow <= 0 {
+		c.RTWindow = 32
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// StallReport is the outcome of one clock-stall run.
+type StallReport struct {
+	Seed       int64
+	Health     string // server-wide state after the stall drained
+	Breaches   uint64
+	Misses     uint64 // deadline misses summed across shards
+	Dump       *fidelity.Dump
+	Violations []string
+}
+
+// OK reports whether the monitor behaved as the scenario demands.
+func (r StallReport) OK() bool { return len(r.Violations) == 0 }
+
+// Failure renders a failing run with its reproduction seed.
+func (r StallReport) Failure() string {
+	out := fmt.Sprintf("clock-stall seed %d violated %d expectation(s):\n", r.Seed, len(r.Violations))
+	for _, v := range r.Violations {
+		out += "  ✗ " + v + "\n"
+	}
+	out += fmt.Sprintf("reproduce with:\n  go test ./internal/chaos -run TestClockStall -count=1 -chaos.seed=%d\n", r.Seed)
+	return out
+}
+
+// RunStall executes one clock-stall scenario: warm traffic on a running
+// clock (healthy), a freeze with Packets broadcasts piling into the
+// schedule, then the leap — and verifies the fidelity monitor counted
+// the misses, escalated the health state, and dumped the flight
+// recorder. Traffic conservation holds throughout: the stall delays
+// deliveries, it never loses them.
+func RunStall(cfg StallConfig) StallReport {
+	cfg = cfg.withDefaults()
+	rep := StallReport{Seed: cfg.Seed}
+	fail := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	clk := NewStallClock(vclock.NewSystem(cfg.Scale))
+	sc := scene.New(radio.NewIndexed(64), clk, cfg.Seed)
+	reg := obs.NewRegistry()
+	srv, err := core.NewServer(core.ServerConfig{
+		Clock: clk, Scene: sc, Seed: cfg.Seed, Obs: reg,
+		Shards: cfg.Shards, RTTolerance: cfg.RTTolerance, RTWindow: cfg.RTWindow,
+		// Mobility is irrelevant here; keep the ticker off the clock.
+		TickStep: 10 * time.Second,
+	})
+	if err != nil {
+		fail("setup: %v", err)
+		return rep
+	}
+	model, err := linkmodel.New(linkmodel.NoLoss{},
+		linkmodel.ConstantBandwidth{Bps: 1e9},
+		linkmodel.ConstantDelay{D: 2 * time.Millisecond})
+	if err != nil {
+		fail("setup: %v", err)
+		return rep
+	}
+	if err := sc.SetLinkModel(1, model); err != nil {
+		fail("setup: %v", err)
+		return rep
+	}
+	// A tight cluster, everyone in everyone's range: each broadcast
+	// becomes exactly Clients-1 scheduled deliveries.
+	for i := 1; i <= cfg.Clients; i++ {
+		err := sc.AddNode(radio.NodeID(i), geom.V(float64(i)*5, 0),
+			[]radio.Radio{{Channel: 1, Range: 1000}})
+		if err != nil {
+			fail("setup: add node %d: %v", i, err)
+			return rep
+		}
+	}
+
+	lis := transport.NewInprocListener()
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(lis) }()
+	defer func() { lis.Close(); srv.Close(); <-serveDone }()
+
+	var received atomic.Uint64
+	clients := make([]*core.Client, cfg.Clients)
+	for i := range clients {
+		c, err := core.Dial(core.ClientConfig{
+			ID: radio.NodeID(i + 1), Dial: lis.Dialer(),
+			LocalClock: clk, SyncRounds: 1,
+			OnPacket: func(p wire.Packet) { received.Add(1) },
+		})
+		if err != nil {
+			fail("setup: dial client %d: %v", i+1, err)
+			return rep
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+	fid := srv.Fidelity()
+	if fid == nil {
+		fail("setup: fidelity monitor missing despite RTTolerance=%v", cfg.RTTolerance)
+		return rep
+	}
+
+	fanout := uint64(cfg.Clients - 1)
+	payload := []byte("clock-stall-payload")
+	send := func(n int, flow uint16) bool {
+		for k := 0; k < n; k++ {
+			if err := clients[0].Broadcast(1, flow, payload); err != nil {
+				fail("broadcast: %v", err)
+				return false
+			}
+		}
+		return true
+	}
+	waitReceived := func(want uint64, what string) bool {
+		if pollUntil(10*time.Second, func() bool { return received.Load() >= want }) {
+			return true
+		}
+		fail("%s: clients received %d of %d deliveries", what, received.Load(), want)
+		return false
+	}
+
+	// Phase 1 — warm traffic on a running clock. Deliveries fire on
+	// schedule; the monitor must still read healthy.
+	const warm = 2
+	if !send(warm, 1) || !waitReceived(warm*fanout, "warmup") {
+		return rep
+	}
+	if st := fid.State(); st != fidelity.Healthy {
+		fail("warmup: health %v before any stall, want healthy", st)
+	}
+
+	// Phase 2 — freeze the clock, pile up the storm. Ingest commits
+	// (Received counts it) but every delivery's due time sits just past
+	// the frozen now, so the scanners wait.
+	clk.Stall()
+	if !send(cfg.Packets, 2) {
+		clk.Resume()
+		return rep
+	}
+	want := uint64(warm+cfg.Packets) * fanout
+	if !pollUntil(10*time.Second, func() bool {
+		return srv.Stats().Received >= uint64(warm+cfg.Packets)
+	}) {
+		fail("stall: server ingested %d of %d packets", srv.Stats().Received, warm+cfg.Packets)
+		clk.Resume()
+		return rep
+	}
+	time.Sleep(cfg.Stall) // the inner clock runs ahead by Scale×Stall
+
+	// Phase 3 — the leap. Everything queued behind the freeze is now
+	// overdue by ~Scale×Stall emulated time and fires as one late pile.
+	clk.Resume()
+	if !waitReceived(want, "post-stall") {
+		return rep
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		fail("post-stall: pipeline did not quiesce: %+v", srv.Stats())
+		return rep
+	}
+
+	// Verdict: conservation held, misses were counted, health escalated,
+	// and the breach dumped the flight recorder.
+	st := srv.Stats()
+	if st.Entered != st.Forwarded || st.QueueDrops != 0 || st.Abandoned != 0 {
+		fail("conservation: %+v", st)
+	}
+	for _, snap := range fid.Snapshots() {
+		rep.Misses += snap.Misses
+	}
+	rep.Health = fid.State().String()
+	rep.Breaches = fid.Breaches()
+	rep.Dump = fid.LastDump()
+	if rep.Misses == 0 {
+		fail("monitor counted no deadline misses across a %v stall at scale %g (tolerance %v)",
+			cfg.Stall, cfg.Scale, cfg.RTTolerance)
+	}
+	if fid.State() < fidelity.Degraded {
+		fail("health %q after the stall, want at least degraded", rep.Health)
+	}
+	if rep.Breaches == 0 {
+		fail("no health breach recorded")
+	}
+	if rep.Dump == nil {
+		fail("no flight-recorder dump captured")
+	} else {
+		var transitions, fires int
+		for _, ev := range rep.Dump.Events {
+			switch ev.Kind {
+			case fidelity.EvStateTransition:
+				transitions++
+			case fidelity.EvBatchFire:
+				fires++
+			}
+		}
+		if transitions == 0 {
+			fail("dump holds no state-transition events (%d total)", len(rep.Dump.Events))
+		}
+		if fires == 0 {
+			fail("dump holds no batch-fire events (%d total)", len(rep.Dump.Events))
+		}
+	}
+	return rep
+}

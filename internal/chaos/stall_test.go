@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestClockStall is the fidelity monitor's end-to-end acceptance: a
+// frozen-then-leaping emulation clock must drive the health state to at
+// least degraded, count the late pile as deadline misses, and capture a
+// flight-recorder dump — with packet conservation untouched (a stall
+// delays traffic, it never loses it). Honors -chaos.seed for
+// reproduction.
+func TestClockStall(t *testing.T) {
+	seed := int64(1)
+	if *flagSeed >= 0 {
+		seed = *flagSeed
+	}
+	rep := RunStall(StallConfig{Seed: seed})
+	if !rep.OK() {
+		t.Fatal(rep.Failure())
+	}
+	if rep.Health != "degraded" && rep.Health != "overrun" {
+		t.Fatalf("health %q, want degraded or overrun", rep.Health)
+	}
+	t.Logf("clock stall: health=%s breaches=%d misses=%d dump=%d events",
+		rep.Health, rep.Breaches, rep.Misses, len(rep.Dump.Events))
+}
+
+// TestClockStallMultiShard repeats the scenario on a sharded pipeline:
+// the stall hits every shard's scanner, and the server-wide state is
+// the worst shard's.
+func TestClockStallMultiShard(t *testing.T) {
+	rep := RunStall(StallConfig{Seed: 2, Shards: 4})
+	if !rep.OK() {
+		t.Fatal(rep.Failure())
+	}
+}
+
+// TestStallClock pins the clock wrapper itself: frozen reads are
+// constant while the inner clock runs on, the post-resume reading leaps
+// to the inner clock, and a waiter parked behind the freeze is released
+// by the leap.
+func TestStallClock(t *testing.T) {
+	inner := vclock.NewSystem(1000) // compress so the test stays fast
+	clk := NewStallClock(inner)
+	if clk.Now() < 0 {
+		t.Fatal("negative reading")
+	}
+	clk.Stall()
+	frozen := clk.Now()
+	time.Sleep(2 * time.Millisecond)
+	if got := clk.Now(); got != frozen {
+		t.Fatalf("stalled clock advanced: %v -> %v", frozen, got)
+	}
+	if inner.Now() <= frozen {
+		t.Fatal("inner clock did not run during the stall")
+	}
+
+	// A waiter behind the freeze parks until Resume, then observes the
+	// leap and returns.
+	target := frozen.Add(time.Millisecond)
+	done := make(chan bool, 1)
+	go func() { done <- clk.Wait(target, nil) }()
+	select {
+	case <-done:
+		t.Fatal("Wait returned while the clock was stalled")
+	case <-time.After(2 * time.Millisecond):
+	}
+	clk.Resume()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Wait reported cancelled")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never observed the post-resume leap")
+	}
+	if got := clk.Now(); got < target {
+		t.Fatalf("post-resume reading %v below wait target %v", got, target)
+	}
+
+	// Cancellation releases a stalled waiter without reaching the target.
+	clk.Stall()
+	cancel := make(chan struct{})
+	go func() { done <- clk.Wait(clk.Now().Add(time.Hour), cancel) }()
+	close(cancel)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled Wait reported target reached")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Wait never returned")
+	}
+	clk.Resume()
+}
+
+// TestChaosDigestUnaffectedByMonitoring pins RTTolerance as a pure
+// execution parameter: one seed generates and executes the identical
+// schedule digest whether the fidelity monitor is on (default) or
+// disabled (negative tolerance) — observation never perturbs the
+// scenario.
+func TestChaosDigestUnaffectedByMonitoring(t *testing.T) {
+	seed := int64(3)
+	dOn := GenerateSchedule(Config{Seed: seed}).Digest()
+	dOff := GenerateSchedule(Config{Seed: seed, RTTolerance: -1}).Digest()
+	if dOn != dOff {
+		t.Fatalf("RTTolerance leaked into the schedule digest: %s vs %s", dOn, dOff)
+	}
+	repOff := Run(Config{Seed: seed, RTTolerance: -1})
+	if !repOff.OK() {
+		t.Fatal(repOff.Failure())
+	}
+	if repOff.Digest != dOn {
+		t.Fatalf("disabled-monitor run digest %s != generated %s", repOff.Digest, dOn)
+	}
+	repOn := Run(Config{Seed: seed})
+	if !repOn.OK() {
+		t.Fatal(repOn.Failure())
+	}
+	if repOn.Digest != repOff.Digest {
+		t.Fatalf("digest differs with monitoring on vs off: %s vs %s", repOn.Digest, repOff.Digest)
+	}
+}

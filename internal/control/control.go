@@ -164,16 +164,26 @@ func (s *Server) execute(line string, w io.Writer) {
 			return
 		}
 		st := s.emu.Stats()
-		fmt.Fprintf(w, "clients=%d received=%d forwarded=%d dropped=%d noroute=%d scheduled=%d queuedrops=%d stampclamped=%d\n",
+		fmt.Fprintf(w, "clients=%d received=%d forwarded=%d dropped=%d noroute=%d scheduled=%d queuedrops=%d stampclamped=%d",
 			st.Clients, st.Received, st.Forwarded, st.Dropped, st.NoRoute, st.Scheduled,
 			st.QueueDrops, st.StampClamped)
+		if st.Health != "" {
+			fmt.Fprintf(w, " health=%s", st.Health)
+		}
+		fmt.Fprintln(w)
 		// One line per pipeline shard: where the sessions landed and how
-		// much schedule work each slice is carrying.
+		// much schedule work each slice is carrying — plus, when the
+		// fidelity monitor runs, whether that slice is keeping real time.
 		for _, sh := range s.emu.ShardStats() {
 			fmt.Fprintf(w, "  shard %d clients=%d scheduled=%d dispatched=%d entered=%d queuedepth=%d"+
-				" firebatches=%d wakeups=%d spurious=%d kicks=%d elided=%d\n",
+				" firebatches=%d wakeups=%d spurious=%d kicks=%d elided=%d",
 				sh.Shard, sh.Clients, sh.Scheduled, sh.Dispatched, sh.Entered, sh.QueueDepth,
 				sh.FireBatches, sh.Wakeups, sh.SpuriousWakes, sh.KicksDelivered, sh.KicksElided)
+			if sh.Health != "" {
+				fmt.Fprintf(w, " health=%s misses=%d missrate=%.4f lagp99=%v watermark=%v drift=%v",
+					sh.Health, sh.DeadlineMisses, sh.MissRate, sh.LagP99, sh.LagWatermark, sh.Drift)
+			}
+			fmt.Fprintln(w)
 		}
 		// One line per channel: how often its dispatch view was rebuilt
 		// (the §4.2 channel-indexed update cost, live).

@@ -125,7 +125,7 @@ func (s *Server) Stats() ServerStats {
 		clients += sh.clients()
 		scheduled += sh.scanner.Pending()
 	}
-	return ServerStats{
+	st := ServerStats{
 		Received:     s.mReceived.Load(),
 		Forwarded:    s.mForwarded.Load(),
 		Dropped:      s.mDropped.Load(),
@@ -137,6 +137,10 @@ func (s *Server) Stats() ServerStats {
 		Clients:      clients,
 		Scheduled:    scheduled,
 	}
+	if s.fid != nil {
+		st.Health = s.fid.State().String()
+	}
+	return st
 }
 
 // ShardStat is one shard's slice of the pipeline, as exposed by the
@@ -164,6 +168,19 @@ type ShardStat struct {
 	// lock-cycles-per-delivery figure the batch scheduler optimizes.
 	FireLocks uint64
 	PushLocks uint64
+
+	// Real-time fidelity (internal/obs/fidelity; zero values with an
+	// empty Health when the monitor is disabled): how many fired
+	// deliveries missed the rt-tolerance, the miss fraction, batch-fire
+	// lag quantiles and the worst lag ever seen, the EWMA drift, and
+	// the shard's health state name.
+	DeadlineMisses uint64
+	MissRate       float64
+	LagP50         time.Duration
+	LagP99         time.Duration
+	LagWatermark   time.Duration
+	Drift          time.Duration
+	Health         string
 }
 
 // ShardStats snapshots every shard's pipeline counters, in shard order.
@@ -185,6 +202,16 @@ func (s *Server) ShardStats() []ShardStat {
 			KicksElided:    st.KicksElided,
 			FireLocks:      st.FireLocks,
 			PushLocks:      st.PushLocks,
+		}
+		if sh.fid != nil {
+			fs := sh.fid.Snapshot()
+			out[i].DeadlineMisses = fs.Misses
+			out[i].MissRate = fs.MissRate
+			out[i].LagP50 = fs.LagP50
+			out[i].LagP99 = fs.LagP99
+			out[i].LagWatermark = fs.Watermark
+			out[i].Drift = fs.Drift
+			out[i].Health = fs.State
 		}
 	}
 	return out

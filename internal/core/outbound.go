@@ -58,6 +58,11 @@ type sendQueue struct {
 	totalDrops     *obs.Counter  // server-wide aggregate, shared by all sessions
 	totalAbandoned *obs.Counter  // data entries that died with the session
 	tracer         *obs.Tracer   // releases trace slots of evicted entries
+
+	// onDrop, when set (before the session starts), observes each policy
+	// discard — the fidelity flight recorder timestamps drops into its
+	// event ring. Called under q.mu: it must be lock-free and fast.
+	onDrop func()
 }
 
 func newSendQueue(limit int, totalDrops, totalAbandoned *obs.Counter, tracer *obs.Tracer) *sendQueue {
@@ -73,6 +78,9 @@ func (q *sendQueue) countDrop() {
 	q.drops.Add(1)
 	if q.totalDrops != nil {
 		q.totalDrops.Inc()
+	}
+	if q.onDrop != nil {
+		q.onDrop()
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/fidelity"
 	"repro/internal/radio"
 	"repro/internal/record"
 	"repro/internal/scene"
@@ -148,6 +149,19 @@ type ServerConfig struct {
 	// pre-batching single-fire loop and is the A7 ablation baseline.
 	// Negative is an error.
 	ScanBatch int
+
+	// RTTolerance is the real-time fidelity monitor's deadline-miss
+	// tolerance, in emulation time: a delivery firing more than this
+	// past its scheduled due time counts as a miss, and sustained misses
+	// degrade the health state (see internal/obs/fidelity). Zero selects
+	// fidelity.DefaultTolerance; negative disables the monitor entirely
+	// (Server.Fidelity() returns nil and the scanner fire path carries
+	// no fidelity closure at all — the chaos ablation baseline).
+	RTTolerance time.Duration
+	// RTWindow is how many fired deliveries close one health-evaluation
+	// window (fidelity.Config.Window). Zero selects the default; tests
+	// shrink it so state transitions trip quickly.
+	RTWindow int
 }
 
 // DefaultObsSampleEvery is the per-session sampling period for stage
@@ -216,6 +230,11 @@ type Server struct {
 	tracer      *obs.Tracer
 	sampleEvery atomic.Uint32 // 0 = sampling disabled
 
+	// fid is the real-time fidelity monitor: per-shard deadline
+	// accounting, the health state machine, and the flight recorder.
+	// nil when RTTolerance is negative (monitoring disabled).
+	fid *fidelity.Monitor
+
 	mReceived     *obs.Counter
 	mForwarded    *obs.Counter
 	mDropped      *obs.Counter
@@ -262,6 +281,9 @@ type ServerStats struct {
 	Abandoned uint64
 	Clients   int // connected sessions, summed across shards
 	Scheduled int // schedule depth right now, summed across shards
+	// Health is the server-wide real-time fidelity state ("healthy",
+	// "degraded", "overrun"), or "" when the monitor is disabled.
+	Health string
 }
 
 // NewServer validates the configuration and assembles a server.
@@ -398,6 +420,19 @@ func (s *Server) instrument(cfg ServerConfig) {
 	reg.Gauge("poem_shards", "independent pipeline shards", func() float64 {
 		return float64(len(s.shards))
 	})
+	if cfg.RTTolerance >= 0 {
+		s.fid = fidelity.New(len(s.shards), fidelity.Config{
+			Tolerance: cfg.RTTolerance,
+			Window:    cfg.RTWindow,
+		}, reg)
+		// Timeline context for breach dumps: every dispatch-view publish
+		// lands in the flight recorder (a rebuild storm next to a lag
+		// spike is a diagnosis, not a coincidence).
+		rec := s.fid.Recorder()
+		cfg.Scene.SetRebuildObserver(func(ch radio.ChannelID) {
+			rec.Record(fidelity.EvViewRebuild, -1, int64(s.cfg.Clock.Now()), int64(ch), 0)
+		})
+	}
 	for _, sh := range s.shards {
 		sh := sh
 		idx := strconv.Itoa(sh.idx)
@@ -421,7 +456,12 @@ func (s *Server) instrument(cfg ServerConfig) {
 			"this shard's schedule depth", func() float64 { return float64(sh.scanner.Pending()) })
 		reg.Gauge(obs.Labeled("poem_shard_clients", "shard", idx),
 			"sessions registered on this shard", func() float64 { return float64(sh.clients()) })
-		sh.scanner.SetBatchObserver(func(n int) { s.hFireBatch.Observe(time.Duration(n)) })
+		if s.fid == nil {
+			sh.scanner.SetBatchObserver(func(n int) { s.hFireBatch.Observe(time.Duration(n)) })
+		} else {
+			sh.fid = s.fid.Shard(sh.idx)
+			sh.scanner.SetFireObserver(s.fireObserver(sh))
+		}
 	}
 
 	cfg.Scene.Instrument(reg)
@@ -440,8 +480,55 @@ func (s *Server) instrument(cfg ServerConfig) {
 	}
 }
 
+// fireObserver builds one shard's batch-fire closure: it keeps the
+// fire-batch histogram fed (as SetBatchObserver did) and runs the
+// deadline accounting. The batch is sorted by (Due, seq), so the
+// batch's worst lag is now−batch[0].Due and the missed items are a
+// prefix found by binary search — hand-rolled so the whole observer
+// stays allocation-free (the scanner's zero-alloc fire loop is
+// CI-gated).
+func (s *Server) fireObserver(sh *shard) func(vclock.Time, []sched.Item) {
+	fm := sh.fid
+	rec := s.fid.Recorder()
+	tol := vclock.Time(s.fid.Tolerance())
+	return func(now vclock.Time, batch []sched.Item) {
+		n := len(batch)
+		s.hFireBatch.Observe(time.Duration(n))
+		lag := int64(now - batch[0].Due)
+		if lag < 0 {
+			lag = 0
+		}
+		missed := 0
+		if lag > int64(tol) {
+			cut := now - tol // the batch prefix with Due < cut missed
+			lo, hi := 0, n
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if batch[mid].Due < cut {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			missed = lo
+		}
+		if fm.Record(int64(now), lag, n, missed) {
+			// Window closed: summarize the scanner's sleep/kick machinery
+			// into the flight recorder so a dump shows how the loop behaved
+			// around an incident.
+			st := sh.scanner.Stats()
+			rec.Record(fidelity.EvScannerWindow, sh.idx, int64(now),
+				int64(st.KicksElided), int64(st.Wakeups))
+		}
+	}
+}
+
 // Obs returns the server's metrics registry.
 func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Tracer returns the server's packet-lifecycle tracer.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Fidelity returns the real-time fidelity monitor, or nil when
+// ServerConfig.RTTolerance disabled it.
+func (s *Server) Fidelity() *fidelity.Monitor { return s.fid }

@@ -20,6 +20,7 @@ package core
 
 import (
 	"repro/internal/obs"
+	"repro/internal/obs/fidelity"
 	"repro/internal/radio"
 	"repro/internal/sched"
 	"sync"
@@ -56,6 +57,11 @@ type shard struct {
 	// entered is this shard's slice of poem_schedule_entries_total,
 	// registered as poem_shard_entries_total{shard="i"}.
 	entered *obs.Counter
+
+	// fid is this shard's deadline accounting (nil when the fidelity
+	// monitor is disabled). Written only by the owning scanner goroutine
+	// through the fire observer; ShardStats reads its atomics.
+	fid *fidelity.Shard
 }
 
 func newShard(idx int, srv *Server, q sched.Queue) *shard {

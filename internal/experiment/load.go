@@ -48,6 +48,10 @@ type LoadConfig struct {
 	// Seed feeds the scene and link-model dice (the models here are
 	// deterministic, so it only perturbs placement-independent state).
 	Seed int64
+	// RTTolerance is the fidelity monitor's deadline-miss tolerance
+	// (core.ServerConfig.RTTolerance): 0 = default, negative disables
+	// monitoring — the overhead-ablation baseline for BENCH_rt.json.
+	RTTolerance time.Duration
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -109,6 +113,24 @@ type LoadResult struct {
 	KickEliedRate float64 // elided / (elided+delivered)
 
 	GoroutinePeak int
+
+	// Real-time fidelity, per shard (empty when RTTolerance < 0): was
+	// the storm absorbed inside the deadline tolerance, and if not, by
+	// how much each slice fell behind.
+	Health  string // server-wide worst state ("" when disabled)
+	ShardRT []ShardRT
+}
+
+// ShardRT is one shard's fidelity report from the load run.
+type ShardRT struct {
+	Shard     int
+	Health    string
+	Misses    uint64
+	MissRate  float64
+	LagP50    time.Duration
+	LagP99    time.Duration
+	Watermark time.Duration
+	Drift     time.Duration
 }
 
 // Load connects cfg.Sessions in-process emulation clients to one
@@ -128,6 +150,7 @@ func Load(w io.Writer, cfg LoadConfig) (LoadResult, error) {
 	srv, err := core.NewServer(core.ServerConfig{
 		Clock: clk, Scene: sc, Seed: cfg.Seed, Obs: reg,
 		Shards: cfg.Shards, ScanBatch: cfg.ScanBatch,
+		RTTolerance: cfg.RTTolerance,
 		// A storm destination legitimately absorbs every in-range
 		// sender's burst before its writer runs once on a saturated
 		// host; the queue bound should not be what the experiment
@@ -292,6 +315,7 @@ func Load(w io.Writer, cfg LoadConfig) (LoadResult, error) {
 	if res.TrafficWall > 0 {
 		res.FiredPerSec = float64(res.Forwarded) / res.TrafficWall.Seconds()
 	}
+	res.Health = st.Health
 	for _, sh := range srv.ShardStats() {
 		res.FireLocks += sh.FireLocks
 		res.PushLocks += sh.PushLocks
@@ -299,6 +323,14 @@ func Load(w io.Writer, cfg LoadConfig) (LoadResult, error) {
 		res.Wakeups += sh.Wakeups
 		res.SpuriousWakes += sh.SpuriousWakes
 		res.KickEliedRate += float64(sh.KicksElided) // numerator, normalized below
+		if sh.Health != "" {
+			res.ShardRT = append(res.ShardRT, ShardRT{
+				Shard: sh.Shard, Health: sh.Health,
+				Misses: sh.DeadlineMisses, MissRate: sh.MissRate,
+				LagP50: sh.LagP50, LagP99: sh.LagP99,
+				Watermark: sh.LagWatermark, Drift: sh.Drift,
+			})
+		}
 	}
 	var kicksDelivered uint64
 	for _, sh := range srv.ShardStats() {
@@ -337,6 +369,14 @@ func Load(w io.Writer, cfg LoadConfig) (LoadResult, error) {
 			res.ItemsPerBatch, res.BatchP50, res.BatchP99)
 		fmt.Fprintf(w, "  wakeups %d (spurious %d)   kick elide rate %.3f\n",
 			res.Wakeups, res.SpuriousWakes, res.KickEliedRate)
+		if res.Health != "" {
+			fmt.Fprintf(w, "  health=%s (rt-tolerance %v)\n", res.Health, rtToleranceLabel(cfg.RTTolerance))
+			for _, rt := range res.ShardRT {
+				fmt.Fprintf(w, "    shard %d health=%s misses=%d missrate=%.4f lag p50 %v p99 %v watermark %v drift %v\n",
+					rt.Shard, rt.Health, rt.Misses, rt.MissRate,
+					rt.LagP50, rt.LagP99, rt.Watermark, rt.Drift)
+			}
+		}
 	}
 	return res, nil
 }
@@ -346,4 +386,11 @@ func scanBatchLabel(n int) string {
 		return "default"
 	}
 	return fmt.Sprintf("%d", n)
+}
+
+func rtToleranceLabel(d time.Duration) string {
+	if d == 0 {
+		return "default"
+	}
+	return d.String()
 }

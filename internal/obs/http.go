@@ -20,10 +20,20 @@ import (
 // racing the teardown — a late scrape must not touch a store whose WAL
 // is mid-close.
 
+// Endpoint is an extra debug route mounted by Handler. An extra whose
+// Pattern collides with a built-in route (e.g. /healthz) replaces it,
+// so a subsystem with a richer health report can take over the probe.
+type Endpoint struct {
+	Pattern string
+	H       http.Handler
+}
+
 // Handler builds the debug mux. reg supplies /metrics; tr (may be nil)
 // supplies /trace; gate (may be nil) disables the scrape endpoints once
-// closed.
-func Handler(reg *Registry, tr *Tracer, gate <-chan struct{}) http.Handler {
+// closed. extras are mounted on the same mux, behind the same gate —
+// except /healthz overrides, which stay ungated (a liveness probe must
+// answer during shutdown too).
+func Handler(reg *Registry, tr *Tracer, gate <-chan struct{}, extras ...Endpoint) http.Handler {
 	gated := func(h http.HandlerFunc) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			if gate != nil {
@@ -38,26 +48,41 @@ func Handler(reg *Registry, tr *Tracer, gate <-chan struct{}) http.Handler {
 		}
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", gated(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w)
-	}))
-	mux.HandleFunc("/trace", gated(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		var recs []TraceRecord
-		if tr != nil {
-			recs = tr.Records()
+	overridden := make(map[string]bool, len(extras))
+	for _, e := range extras {
+		overridden[e.Pattern] = true
+		if e.Pattern == "/healthz" {
+			mux.Handle(e.Pattern, e.H)
+			continue
 		}
-		if recs == nil {
-			recs = []TraceRecord{}
-		}
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(recs)
-	}))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+		mux.HandleFunc(e.Pattern, gated(e.H.ServeHTTP))
+	}
+	if !overridden["/metrics"] {
+		mux.HandleFunc("/metrics", gated(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		}))
+	}
+	if !overridden["/trace"] {
+		mux.HandleFunc("/trace", gated(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			var recs []TraceRecord
+			if tr != nil {
+				recs = tr.Records()
+			}
+			if recs == nil {
+				recs = []TraceRecord{}
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(recs)
+		}))
+	}
+	if !overridden["/healthz"] {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok\n"))
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -38,8 +38,33 @@ import (
 // WritePrometheus recognises the brace form, emitting the HELP/TYPE
 // header once per family and the samples with their labels intact. Use
 // it for small, fixed cardinalities (shard indices, not packet fields).
+// The value is escaped per the text exposition format, so a `"`, `\`
+// or newline in it cannot corrupt the /metrics output.
 func Labeled(name, key, value string) string {
-	return name + "{" + key + "=\"" + value + "\"}"
+	return name + "{" + key + "=\"" + escapeLabelValue(value) + "\"}"
+}
+
+// escapeLabelValue applies the exposition format's label-value escaping
+// (backslash, double-quote and line feed; everything else is literal).
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // familyName strips a Labeled suffix: the metric family the HELP/TYPE

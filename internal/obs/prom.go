@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus
@@ -43,7 +44,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
 		case kindHistogram:
-			writeHistogram(bw, m)
+			writeHistogram(bw, m, newFamily)
 		}
 	}
 	return bw.Flush()
@@ -59,10 +60,19 @@ func writeHeader(w io.Writer, name, help, typ string) {
 // writeHistogram emits the cumulative bucket series. Empty buckets
 // inside the occupied range are emitted (cumulative counts must not
 // skip), but the all-zero tail collapses into the +Inf bucket so an
-// idle histogram costs three lines, not fifty.
-func writeHistogram(w io.Writer, m *metric) {
+// idle histogram costs three lines, not fifty. A Labeled histogram
+// splits into family + label set: the suffix (_bucket, _sum, _count)
+// attaches to the family name and the labels merge with le, as the
+// exposition format requires — `fam_bucket{shard="0",le="1024"}`.
+func writeHistogram(w io.Writer, m *metric, newFamily bool) {
 	s := m.hist.Snapshot()
-	writeHeader(w, m.name, m.help, "histogram")
+	fam, labels := m.name, ""
+	if i := strings.IndexByte(m.name, '{'); i >= 0 {
+		fam, labels = m.name[:i], m.name[i+1:len(m.name)-1]+","
+	}
+	if newFamily {
+		writeHeader(w, fam, m.help, "histogram")
+	}
 	highest := -1
 	for i, b := range s.Buckets {
 		if b != 0 {
@@ -72,17 +82,26 @@ func writeHistogram(w io.Writer, m *metric) {
 	cum := uint64(0)
 	for i := 0; i <= highest; i++ {
 		cum += s.Buckets[i]
-		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.name, UpperBound(i), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", fam, labels, UpperBound(i), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
-	fmt.Fprintf(w, "%s_sum %d\n", m.name, s.Sum)
-	fmt.Fprintf(w, "%s_count %d\n", m.name, cum)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", fam, labels, cum)
+	fmt.Fprintf(w, "%s_sum%s %d\n", fam, suffixLabels(labels), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", fam, suffixLabels(labels), cum)
 	for _, q := range [...]struct {
 		suffix string
 		q      float64
 	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
-		fmt.Fprintf(w, "%s_%s %s\n", m.name, q.suffix, formatFloat(s.Quantile(q.q)))
+		fmt.Fprintf(w, "%s_%s%s %s\n", fam, q.suffix, suffixLabels(labels), formatFloat(s.Quantile(q.q)))
 	}
+}
+
+// suffixLabels re-wraps the inner label list ("shard=\"0\",") for the
+// _sum/_count/quantile series, which carry the labels without le.
+func suffixLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels[:len(labels)-1] + "}"
 }
 
 // formatFloat renders a gauge value; NaN and infinities are rendered in

@@ -1,0 +1,152 @@
+package obs
+
+// Edge-case exposition tests: label-value escaping, non-finite gauge
+// rendering, labeled histogram families, and pinned quantile values on
+// degenerate histograms.
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLabeledEscaping pins the exposition-format escaping of label
+// values: backslash, double-quote and newline must be escaped so a
+// hostile or merely unlucky value cannot corrupt the /metrics stream.
+func TestLabeledEscaping(t *testing.T) {
+	for _, tc := range []struct{ value, want string }{
+		{"plain", `m{k="plain"}`},
+		{`back\slash`, `m{k="back\\slash"}`},
+		{`quo"te`, `m{k="quo\"te"}`},
+		{"new\nline", `m{k="new\nline"}`},
+		{"all\\three\"here\n", `m{k="all\\three\"here\n"}`},
+		{"", `m{k=""}`},
+	} {
+		if got := Labeled("m", "k", tc.value); got != tc.want {
+			t.Errorf("Labeled(%q) = %q, want %q", tc.value, got, tc.want)
+		}
+	}
+	// The escaped name round-trips through the registry and exposition:
+	// the sample line carries the escaped value, and the family header
+	// stays clean.
+	reg := NewRegistry()
+	reg.Counter(Labeled("poem_esc_total", "who", `a"b\c`), "escape test").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `poem_esc_total{who="a\"b\\c"} 1`) {
+		t.Errorf("escaped sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE poem_esc_total counter") {
+		t.Errorf("family header missing:\n%s", out)
+	}
+}
+
+// TestFormatFloatNonFinite pins the Prometheus spellings of NaN and the
+// infinities, both directly and end-to-end through a gauge scrape.
+func TestFormatFloatNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{2.5, "2.5"},
+		{0, "0"},
+	} {
+		if got := formatFloat(tc.v); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	reg := NewRegistry()
+	reg.Gauge("poem_nan_gauge", "", func() float64 { return math.NaN() })
+	reg.Gauge("poem_posinf_gauge", "", func() float64 { return math.Inf(1) })
+	reg.Gauge("poem_neginf_gauge", "", func() float64 { return math.Inf(-1) })
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"poem_nan_gauge NaN",
+		"poem_posinf_gauge +Inf",
+		"poem_neginf_gauge -Inf",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestWritePrometheusLabeledHistogram pins the labeled-histogram
+// exposition shape the fidelity monitor's per-shard lag histograms
+// rely on: one family header, labels merged with le on bucket lines,
+// and labels re-wrapped (without le) on _sum/_count/quantile lines.
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	reg := NewRegistry()
+	for _, shard := range []string{"0", "1"} {
+		h := reg.Histogram(Labeled("poem_lag_test_ns", "shard", shard), "per-shard lag")
+		h.Observe(100 * time.Nanosecond)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "# TYPE poem_lag_test_ns histogram"); got != 1 {
+		t.Errorf("family TYPE header emitted %d times, want 1:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`poem_lag_test_ns_bucket{shard="0",le="128"} 1`,
+		`poem_lag_test_ns_bucket{shard="0",le="+Inf"} 1`,
+		`poem_lag_test_ns_sum{shard="0"} 100`,
+		`poem_lag_test_ns_count{shard="0"} 1`,
+		`poem_lag_test_ns_p50{shard="0"} 96`,
+		`poem_lag_test_ns_bucket{shard="1",le="+Inf"} 1`,
+		`poem_lag_test_ns_count{shard="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") && strings.Contains(line, "{") {
+			t.Errorf("header line carries a label: %q", line)
+		}
+	}
+}
+
+// TestQuantileEmpty pins the empty histogram's quantiles to exactly 0
+// for every q, in and out of range — scrape code divides by and
+// compares against these, so they must never be NaN.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+// TestQuantileSingleBucket pins the single-observation estimate: with
+// one sample in bucket [64,128) every quantile interpolates to the
+// bucket midpoint 96, and q is clamped into [0,1].
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100 * time.Nanosecond) // bucket [64,128)
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 96 {
+			t.Errorf("single-bucket Quantile(%v) = %v, want 96", q, got)
+		}
+	}
+	// A lone zero observation lands in bucket 0 ([0,1)): midpoint 0.5.
+	hz := NewHistogram()
+	hz.Observe(0)
+	if got := hz.Quantile(0.5); got != 0.5 {
+		t.Errorf("zero-observation Quantile(0.5) = %v, want 0.5", got)
+	}
+}

@@ -111,6 +111,9 @@ type Scene struct {
 	dirty    map[radio.ChannelID]struct{}
 	rebuilds map[radio.ChannelID]uint64
 	allDirty bool
+	// rebuildObs, when set, observes each channel rebuild from inside
+	// publishLocked (see SetRebuildObserver).
+	rebuildObs func(radio.ChannelID)
 
 	// tickHist, when instrumented, records the wall cost of each
 	// mobility tick (walker advance + view republish).

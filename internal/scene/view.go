@@ -150,8 +150,22 @@ func (s *Scene) publishLocked() {
 		}
 		chans[ch] = v
 		s.rebuilds[ch]++
+		if s.rebuildObs != nil {
+			s.rebuildObs(ch)
+		}
 	}
 	s.views.Store(&viewSet{chans: chans, defModel: s.defModel})
+}
+
+// SetRebuildObserver installs fn to observe every channel-view rebuild
+// (nil removes it). It runs under the scene mutex, once per rebuilt
+// channel per publish: fn must be fast, lock-free, and must not call
+// back into the scene. The fidelity flight recorder uses it to place
+// rebuild storms on the same timeline as scheduler lag.
+func (s *Scene) SetRebuildObserver(fn func(radio.ChannelID)) {
+	s.mu.Lock()
+	s.rebuildObs = fn
+	s.mu.Unlock()
 }
 
 // buildViewLocked computes ch's view from the neighbor table, or nil

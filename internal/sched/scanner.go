@@ -40,6 +40,11 @@ type Scanner struct {
 	waiter   vclock.Waiter
 	batchCap int
 	onBatch  func(int) // optional fire-batch-size observer (obs)
+	// onFire observes each non-empty batch with the clock reading that
+	// popped it, before dispatch — the real-time fidelity monitor reads
+	// batch[0].Due against now here, reusing the fire loop's own clock
+	// read so deadline accounting costs zero extra Now calls.
+	onFire func(now vclock.Time, batch []Item)
 
 	mu   sync.Mutex
 	q    Queue
@@ -115,6 +120,14 @@ func (s *Scanner) SetBatchLimit(n int) {
 // SetBatchObserver installs fn to observe each non-empty fire batch's
 // size, on the scanner goroutine. Call before Start.
 func (s *Scanner) SetBatchObserver(fn func(int)) { s.onBatch = fn }
+
+// SetFireObserver installs fn to observe each non-empty fire batch on
+// the scanner goroutine, with the emulation-clock reading that popped
+// it. The slice is the scanner's reusable buffer, still sorted by
+// (Due, seq): fn must not retain it, and it runs before dispatch — the
+// entries are intact, and anything slow here delays every delivery in
+// the batch. Call before Start.
+func (s *Scanner) SetFireObserver(fn func(now vclock.Time, batch []Item)) { s.onFire = fn }
 
 // Start launches the scanning goroutine.
 func (s *Scanner) Start() {
@@ -258,6 +271,9 @@ func (s *Scanner) run() {
 			s.batches.Add(1)
 			if s.onBatch != nil {
 				s.onBatch(n)
+			}
+			if s.onFire != nil {
+				s.onFire(now, batch[:n])
 			}
 			for i := 0; i < n; i++ {
 				s.dispatch(batch[i])

@@ -52,3 +52,25 @@ echo "$SCHED" | awk '
 ' || { echo "scanner alloc gate: FAILED (sleep/fire must be allocation-free)"; exit 1; }
 
 echo "scanner alloc gate: OK (sleep/fire cycle allocation-free)"
+
+# The fidelity monitor rides the same fire edge: one Shard.Record per
+# scanner batch plus flight-recorder appends from the cold paths. Both
+# must stay allocation-free in steady state or monitoring stops being
+# "~0% overhead" (BENCH_rt.json records the baseline costs).
+FID=$(go test -run='^$' -bench='ShardRecord|RecorderRecord' -benchmem -benchtime=10000x ./internal/obs/fidelity)
+echo "$FID"
+
+echo "$FID" | awk '
+	/allocs\/op/ {
+		seen = 1
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "allocs/op" && $i + 0 > 0) {
+				printf "FAIL: %s measured %s allocs/op, budget 0\n", $1, $i
+				bad = 1
+			}
+		}
+	}
+	END { exit bad || !seen }
+' || { echo "fidelity alloc gate: FAILED (deadline accounting must be allocation-free)"; exit 1; }
+
+echo "fidelity alloc gate: OK (deadline accounting and recorder appends allocation-free)"

@@ -41,7 +41,12 @@ for name in \
 	poem_scene_nodes poem_scene_view_rebuilds_total poem_scene_tick_ns \
 	poem_record_packets_total poem_record_scenes_total \
 	poem_record_batch_commits_total \
-	poem_trace_records_total poem_trace_dropped_total; do
+	poem_trace_records_total poem_trace_dropped_total \
+	poem_health poem_health_breaches_total \
+	poem_flight_recorder_events_total \
+	poem_shard_health poem_shard_deadline_miss_total \
+	poem_shard_deadline_lag_ns poem_shard_deadline_watermark_ns \
+	poem_shard_deadline_drift_ns; do
 	if ! printf '%s\n' "$metrics" | grep -q "^$name"; then
 		echo "missing metric: $name"
 		fail=1
@@ -58,6 +63,18 @@ trace=$(curl -fsS "http://$DEBUG/trace")
 case "$trace" in
 [\[]*) ;;
 *) echo "/trace did not answer a JSON array: $trace"; fail=1 ;;
+esac
+
+health=$(curl -fsS "http://$DEBUG/healthz")
+case "$health" in
+*'"state"'*'"shards"'*) ;;
+*) echo "/healthz did not answer a health report: $health"; fail=1 ;;
+esac
+
+fidtrace=$(curl -fsS "http://$DEBUG/fidelity/trace")
+case "$fidtrace" in
+*'"traceEvents"'*) ;;
+*) echo "/fidelity/trace did not answer tracing JSON: $fidtrace"; fail=1 ;;
 esac
 
 [ "$fail" = 0 ] || exit 1
