@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/geom"
 	"repro/internal/mbuf"
 	"repro/internal/obs"
@@ -64,6 +65,8 @@ func main() {
 		rtTolerance = flag.Duration("rt-tolerance", 0,
 			"deadline-miss tolerance of the real-time fidelity monitor, in emulated time "+
 				"(0 = default 20ms; negative disables deadline/health monitoring)")
+		gatewayMap = flag.String("gateway", "",
+			"port-map file bridging real UDP sockets into the scene (see internal/gateway; empty to disable)")
 	)
 	flag.Parse()
 
@@ -141,6 +144,32 @@ func main() {
 		srv.Serve(lis)
 	}()
 
+	// An embedded gateway dials the server's own listener like any other
+	// client, shares the packet-buffer pool, and — being colocated —
+	// subscribes its backpressure gate straight to the fidelity monitor
+	// instead of polling /healthz.
+	var gw *gateway.Gateway
+	if *gatewayMap != "" {
+		bindings, err := gateway.LoadPortMap(*gatewayMap)
+		if err != nil {
+			log.Fatalf("poemd: gateway: %v", err)
+		}
+		gw, err = gateway.New(gateway.Config{
+			Bindings:   bindings,
+			Dial:       transport.TCPDialer(lis.Addr()),
+			LocalClock: clk,
+			Pool:       pool,
+			Obs:        reg,
+			Monitor:    srv.Fidelity(),
+			Shards:     srv.Shards(),
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("poemd: gateway: %v", err)
+		}
+		log.Printf("poemd: gateway bridging %d real sockets (map %s)", len(bindings), *gatewayMap)
+	}
+
 	// The debug endpoint's scrape handlers read the registry and tracer;
 	// serveDone gates them so a late scrape answers 503 instead of racing
 	// the store/WAL teardown below.
@@ -198,6 +227,11 @@ func main() {
 	// 503 — then stop every operator listener (control, debug) so no
 	// handler can touch the store once the WAL sync/close below begins.
 	close(stopScript)
+	if gw != nil {
+		// The gateway holds client sessions on the listener below; close
+		// it first so its sockets drain before the intake disappears.
+		gw.Close()
+	}
 	lis.Close()
 	srv.Close()
 	<-serveDone

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs/fidelity"
 	"repro/internal/radio"
 	"repro/internal/scene"
 	"repro/internal/sched"
@@ -219,6 +220,23 @@ func (s *Server) ShardStats() []ShardStat {
 
 // Shards returns how many independent pipeline shards the server runs.
 func (s *Server) Shards() int { return len(s.shards) }
+
+// HealthOf returns the real-time health state governing traffic for
+// node: the worse of its owning shard's state and the server-wide
+// state. With the fidelity monitor disabled it always reads Healthy.
+// The real-traffic gateway's backpressure policy keys off this view —
+// a node's ingress is shed when either its own pipeline shard or the
+// server as a whole has fallen behind real time.
+func (s *Server) HealthOf(node radio.NodeID) fidelity.State {
+	if s.fid == nil {
+		return fidelity.Healthy
+	}
+	st := s.fid.State()
+	if sh := s.fid.Shard(ShardIndex(node, len(s.shards))).State(); sh > st {
+		st = sh
+	}
+	return st
+}
 
 // SetDeliverHook installs (or, with nil, removes) a callback observing
 // every schedule departure in fire order, on the firing shard's scanner

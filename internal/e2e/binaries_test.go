@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -31,7 +32,7 @@ func binaries(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, name := range []string{"poemd", "poemctl", "poem-client", "poem-replay", "poem-exp"} {
+		for _, name := range []string{"poemd", "poemctl", "poem-client", "poem-replay", "poem-exp", "poem-gateway"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "repro/cmd/"+name)
 			cmd.Dir = repoRoot(t)
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -258,4 +259,166 @@ func TestPoemExpBinary(t *testing.T) {
 			t.Errorf("poem-exp %s produced nothing", exp)
 		}
 	}
+}
+
+// TestPoemGatewayBinary smoke-runs the standalone gateway binary
+// against a live poemd: scene built over poemctl, the gateway's port
+// map bridging two real UDP sockets through the emulated link, with
+// the backpressure gate fed by poemd's real /healthz endpoint.
+func TestPoemGatewayBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	bins := binaries(t)
+	clientAddr := freePort(t)
+	controlAddr := freePort(t)
+	debugAddr := freePort(t)
+
+	daemon := exec.Command(filepath.Join(bins, "poemd"),
+		"-listen", clientAddr, "-control", controlAddr,
+		"-debug", debugAddr, "-scale", "4")
+	var dlog bytes.Buffer
+	daemon.Stdout = &dlog
+	daemon.Stderr = &dlog
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { daemon.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			daemon.Process.Kill()
+			<-done
+		}
+		if t.Failed() {
+			t.Logf("poemd log:\n%s", dlog.String())
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if conn, err := net.Dial("tcp", controlAddr); err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("poemd control never came up:\n%s", dlog.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, args := range [][]string{
+		{"add", "1", "pos", "100,100", "radio", "ch=1", "range=200"},
+		{"add", "2", "pos", "220,100", "radio", "ch=1", "range=200"},
+	} {
+		out, err := exec.Command(filepath.Join(bins, "poemctl"),
+			append([]string{"-server", controlAddr}, args...)...).CombinedOutput()
+		if err != nil || !strings.Contains(string(out), "ok") {
+			t.Fatalf("poemctl %v: %v %q", args, err, out)
+		}
+	}
+
+	// The sink: where traffic addressed to VMN 2 leaves the emulation.
+	sink, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	mapPath := filepath.Join(t.TempDir(), "gateway.map")
+	portMap := "map listen=127.0.0.1:0 node=1 ch=1 dst=2\n" +
+		"map listen=127.0.0.1:0 node=2 ch=1 dst=1 peer=" + sink.LocalAddr().String() + "\n"
+	if err := os.WriteFile(mapPath, []byte(portMap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gwCmd := exec.Command(filepath.Join(bins, "poem-gateway"),
+		"-map", mapPath, "-server", clientAddr, "-scale", "4",
+		"-healthz", "http://"+debugAddr+"/healthz", "-poll", "100ms")
+	var glog syncBuffer
+	gwCmd.Stdout = &glog
+	gwCmd.Stderr = &glog
+	if err := gwCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		gwCmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { gwCmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			gwCmd.Process.Kill()
+			<-done
+		}
+		if t.Failed() {
+			t.Logf("poem-gateway log:\n%s", glog.String())
+		}
+	}()
+
+	// The binary logs each binding's bound socket; node 1's is where the
+	// "application" sends its datagrams.
+	addrRe := regexp.MustCompile(`poem-gateway: ([0-9.]+:[0-9]+) ↔ node 1 `)
+	var gwAddr string
+	deadline = time.Now().Add(10 * time.Second)
+	for gwAddr == "" {
+		if m := addrRe.FindStringSubmatch(glog.String()); m != nil {
+			gwAddr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("gateway never logged its binding:\n%s", glog.String())
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	app, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	dst, err := net.ResolveUDPAddr("udp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UDP across process startup is lossy-by-design; retry the probe
+	// until the far socket answers.
+	sink.SetReadDeadline(time.Now().Add(15 * time.Second))
+	buf := make([]byte, 2048)
+	for tries := 0; ; tries++ {
+		if _, err := app.WriteTo([]byte("gw-binary-hello"), dst); err != nil {
+			t.Fatal(err)
+		}
+		sink.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		n, _, err := sink.ReadFrom(buf)
+		if err == nil {
+			if got := string(buf[:n]); got != "gw-binary-hello" {
+				t.Fatalf("sink received %q", got)
+			}
+			break
+		}
+		if tries > 40 {
+			t.Fatalf("datagram never crossed the emulation:\ngateway log:\n%s\npoemd log:\n%s",
+				glog.String(), dlog.String())
+		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for concurrent Write (the child
+// process) and String (the polling test).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

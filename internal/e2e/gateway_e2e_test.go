@@ -1,0 +1,174 @@
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/geom"
+	"repro/internal/linkmodel"
+	"repro/internal/mbuf"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// TestGatewayRealSocketRelay is the gateway's "would iperf work" test:
+// two real OS UDP sockets bridged through an emulated 3-node relay
+// chain over real TCP transports. Datagrams leave socket A, enter the
+// scene at VMN 1, hop to a relay client on VMN 2 that re-sends them to
+// VMN 3, and come back out of the emulation onto socket B — with each
+// radio hop rolling a 25% loss die. The test asserts end-to-end
+// delivery at the two-hop composite rate, strict per-session ordering
+// of what survives, exact conservation-ledger closure at quiesce, and
+// zero pooled-buffer leaks on both the server's and the gateway's
+// pools after teardown.
+func TestGatewayRealSocketRelay(t *testing.T) {
+	const (
+		datagrams = 300
+		lossP     = 0.25
+	)
+
+	clk := vclock.NewSystem(200)
+	sc := scene.New(radio.NewIndexed(16), clk, 7)
+	srv, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: sc, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := linkmodel.New(linkmodel.ConstantLoss{P: lossP},
+		linkmodel.ConstantBandwidth{Bps: 1e9},
+		linkmodel.ConstantDelay{D: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.SetLinkModel(1, model); err != nil {
+		t.Fatal(err)
+	}
+	// A chain: 1 and 3 are out of each other's range, so every datagram
+	// must relay through 2 and roll the loss die twice.
+	for i, pos := range []geom.Vec2{geom.V(0, 0), geom.V(120, 0), geom.V(240, 0)} {
+		err := sc.AddNode(radio.NodeID(i+1), pos, []radio.Radio{{Channel: 1, Range: 150}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pool := mbuf.NewPool()
+	lis, err := transport.ListenTCPWithPool("127.0.0.1:0", pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() { defer close(serveDone); srv.Serve(lis) }()
+	dial := transport.TCPDialer(lis.Addr())
+
+	// The relay application on VMN 2: copy the payload (only valid
+	// during the callback) and forward it to VMN 3 on the same flow.
+	var relay *core.Client
+	relay, err = core.Dial(core.ClientConfig{
+		ID: 2, Dial: dial, LocalClock: clk, SyncRounds: 1,
+		OnPacket: func(p wire.Packet) {
+			fwd := append([]byte(nil), p.Payload...)
+			if err := relay.SendTo(3, p.Channel, p.Flow, fwd); err != nil {
+				t.Errorf("relay: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Socket B: where traffic leaves the emulation, VMN 3's static peer.
+	sockB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sockB.Close()
+
+	gw, err := gateway.New(gateway.Config{
+		Bindings: []gateway.Binding{
+			{Listen: "127.0.0.1:0", Node: 1, Channel: 1, Dst: 2},
+			{Listen: "127.0.0.1:0", Node: 3, Channel: 1, Dst: 2, Peer: sockB.LocalAddr().String()},
+		},
+		Dial: dial, LocalClock: clk, SyncRounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Socket A: the unmodified application pushing real datagrams with a
+	// sequence number embedded in each payload. Lightly paced so the
+	// lossless parts of the path (UDP loopback, session queues) stay out
+	// of the loss accounting.
+	sockA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sockA.Close()
+	for i := 0; i < datagrams; i++ {
+		if _, err := sockA.WriteTo([]byte(fmt.Sprintf("e2e-%04d", i)), gw.Addr(0)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Collect at socket B until the stream has been silent for longer
+	// than any in-flight datagram could still take.
+	var seqs []int
+	buf := make([]byte, 2048)
+	for {
+		sockB.SetReadDeadline(time.Now().Add(700 * time.Millisecond))
+		n, _, err := sockB.ReadFromUDP(buf)
+		if err != nil {
+			break
+		}
+		var s int
+		if _, err := fmt.Sscanf(string(buf[:n]), "e2e-%04d", &s); err != nil {
+			t.Fatalf("unparseable egress datagram %q", buf[:n])
+		}
+		seqs = append(seqs, s)
+	}
+
+	// Delivery must match the configured link model: two independent
+	// 25% hops compose to 0.75² ≈ 56%. ±0.15 is > 5σ at n=300 — loose
+	// enough to never flake, tight enough to catch a hop not rolling
+	// its die (0.75) or rolling it twice (0.42... is inside, so the
+	// ledger check below carries that case).
+	rate := float64(len(seqs)) / datagrams
+	want := (1 - lossP) * (1 - lossP)
+	if rate < want-0.15 || rate > want+0.15 {
+		t.Errorf("delivered %d/%d = %.3f, want %.3f ± 0.15 (gw %+v, srv %+v)",
+			len(seqs), datagrams, rate, want, gw.Stats(), srv.Stats())
+	}
+	// One flow, one path: whatever survives must arrive in send order.
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("session order violated at %d: %d after %d", i, seqs[i], seqs[i-1])
+		}
+	}
+
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatalf("pipeline did not quiesce: %+v", srv.Stats())
+	}
+	st := srv.Stats()
+	if st.Entered != st.Forwarded+st.QueueDrops+st.Abandoned {
+		t.Errorf("conservation broken: %+v", st)
+	}
+
+	gw.Close()
+	if live := gw.Pool().Live(); live != 0 {
+		t.Errorf("gateway pool leak: %d buffers live after Close", live)
+	}
+	relay.Close()
+	lis.Close()
+	srv.Close()
+	<-serveDone
+	if live := pool.Live(); live != 0 {
+		t.Errorf("server pool leak: %d buffers live after teardown", live)
+	}
+}

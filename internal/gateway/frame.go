@@ -1,0 +1,61 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/radio"
+)
+
+// Gateway frame: the optional per-datagram header a Framed binding
+// speaks, so one real socket can address many emulated destinations.
+// Layout (big endian, HeaderSize bytes, payload follows):
+//
+//	0  uint16  magic "PM"
+//	2  uint32  node — the emulated destination on ingress, the
+//	           emulated source on egress
+//	6  uint16  channel
+//	8  uint16  flow
+//
+// The header is deliberately not the wire package's frame format: wire
+// frames are the trusted server↔client protocol, this header is parsed
+// from untrusted network datagrams and carries only addressing (the
+// gateway stamps sequence numbers and timestamps itself). Anything that
+// fails to parse is counted and dropped — never delivered, never
+// panicked over (FuzzGatewayFrame pins this).
+
+// HeaderSize is the framed-mode per-datagram header length.
+const HeaderSize = 10
+
+// frameMagic is "PM" (Portable eMulator) big-endian.
+const frameMagic = 0x504D
+
+var (
+	errFrameShort = errors.New("gateway: datagram shorter than frame header")
+	errFrameMagic = errors.New("gateway: bad frame magic")
+)
+
+// AppendHeader appends a gateway frame header addressing (node, ch,
+// flow) to dst and returns the extended slice. Real applications (and
+// the tests) prepend this to each datagram on a Framed binding.
+func AppendHeader(dst []byte, node radio.NodeID, ch radio.ChannelID, flow uint16) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, frameMagic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(node))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(ch))
+	return binary.BigEndian.AppendUint16(dst, flow)
+}
+
+// parseHeader splits a framed datagram into its addressing and payload.
+// It never allocates: the payload aliases b.
+func parseHeader(b []byte) (node radio.NodeID, ch radio.ChannelID, flow uint16, payload []byte, err error) {
+	if len(b) < HeaderSize {
+		return 0, 0, 0, nil, errFrameShort
+	}
+	if binary.BigEndian.Uint16(b) != frameMagic {
+		return 0, 0, 0, nil, errFrameMagic
+	}
+	node = radio.NodeID(binary.BigEndian.Uint32(b[2:]))
+	ch = radio.ChannelID(binary.BigEndian.Uint16(b[6:]))
+	flow = binary.BigEndian.Uint16(b[8:])
+	return node, ch, flow, b[HeaderSize:], nil
+}

@@ -1,0 +1,65 @@
+package gateway
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// FuzzGatewayFrame throws arbitrary datagrams at the ingress path of a
+// framed and an unframed binding. Whatever arrives off a real socket —
+// truncated headers, wrong magic, oversized payloads, bytes that happen
+// to look like the server↔client wire protocol — must never panic,
+// leak a pooled buffer, or leave the link's ledger open.
+func FuzzGatewayFrame(f *testing.F) {
+	// Seeds: valid gateway frames at interesting sizes, plus encodings
+	// from the wire protocol's own fuzz corpus — the framings most
+	// likely to half-parse — plus raw garbage.
+	f.Add(AppendHeader(nil, 2, 1, 7))
+	f.Add(append(AppendHeader(nil, 2, 1, 7), []byte("payload")...))
+	f.Add(append(AppendHeader(nil, 0xFFFFFFFF, 0xFFFF, 0xFFFF), make([]byte, 128)...))
+	f.Add(AppendHeader(nil, 2, 1, 7)[:HeaderSize-1])
+	for _, m := range []wire.Msg{
+		&wire.Hello{Ver: wire.Version, ProposedID: 7},
+		&wire.Data{Pkt: wire.Packet{Src: 1, Dst: 2, Channel: 3, Flow: 4, Seq: 5, Stamp: vclock.FromMillis(6), Payload: []byte("wire-payload")}},
+		&wire.SyncReq{TC1: 42},
+		&wire.Bye{Reason: "seed"},
+	} {
+		frame, err := wire.AppendFrame(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x4D})
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+
+	consume := func(p wire.Packet) error { p.Buf.Free(); return nil }
+	g := newGateway(Config{
+		Bindings: []Binding{
+			{Listen: "x", Node: 1, Channel: 1, Dst: 2, Framed: true},
+			{Listen: "y", Node: 2, Channel: 1, Dst: 1},
+		},
+		MaxDatagram: 4096,
+	})
+	for _, l := range g.links {
+		l.send = consume
+	}
+	f.Cleanup(g.Close)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, l := range g.links {
+			l.ingest(data, testFrom)
+		}
+		if live := g.pool.Live(); live != 0 {
+			t.Fatalf("%d pooled buffers leaked on input %x", live, data)
+		}
+		for i, st := range g.Stats() {
+			if st.Ingress != st.Accepted+st.Shed+st.BadFrame+st.Oversize+st.SendErr {
+				t.Fatalf("link %d ledger open after input %x: %+v", i, data, st)
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package gateway
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/radio"
+)
+
+// Binding maps one real UDP socket onto an emulated (node, channel)
+// pair: datagrams arriving on Listen enter the scene as packets sent by
+// Node, and packets the scene delivers to Node leave through the same
+// socket toward Peer (or the last remote that sent us something).
+type Binding struct {
+	// Listen is the real UDP address the gateway binds (host:port;
+	// port 0 picks a free one — tests use this).
+	Listen string
+	// Node is the VMN this socket embodies. One binding per node: the
+	// gateway registers a full emulation client for it.
+	Node radio.NodeID
+	// Channel carries this binding's traffic.
+	Channel radio.ChannelID
+	// Dst is the fixed emulated destination for plain (unframed)
+	// datagrams; radio.Broadcast floods the channel. Framed bindings
+	// read the destination from each datagram's header instead.
+	Dst radio.NodeID
+	// Flow labels this binding's traffic in statistics.
+	Flow uint16
+	// Peer, when set, is the fixed real address egress datagrams are
+	// written to. Empty learns the peer from the most recent ingress
+	// datagram's source address.
+	Peer string
+	// Framed switches the socket to gateway-framed datagrams: a small
+	// header naming the emulated destination/channel/flow precedes the
+	// payload in both directions (see frame.go). Plain bindings carry
+	// raw payloads and use the static Dst/Channel/Flow above.
+	Framed bool
+}
+
+// ParsePortMap reads the gateway's port-map config: one `map` directive
+// per line, `#` comments and blank lines ignored.
+//
+//	# real socket 9000 speaks as VMN 1, unicast to VMN 3 on channel 1
+//	map listen=127.0.0.1:9000 node=1 ch=1 dst=3 flow=7
+//	# egress side: framed, fixed return address
+//	map listen=127.0.0.1:9001 node=3 ch=1 peer=127.0.0.1:9100 framed
+//
+// Keys: listen (required), node (required), ch (required), dst (VMN id
+// or `broadcast`; defaults to broadcast), flow, peer, and the bare
+// token framed.
+func ParsePortMap(r io.Reader) ([]Binding, error) {
+	var out []Binding
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "map" {
+			return nil, fmt.Errorf("portmap line %d: unknown directive %q", lineNo, fields[0])
+		}
+		b := Binding{Dst: radio.Broadcast}
+		seen := map[string]bool{}
+		for _, f := range fields[1:] {
+			key, val, hasVal := strings.Cut(f, "=")
+			if seen[key] {
+				return nil, fmt.Errorf("portmap line %d: duplicate key %q", lineNo, key)
+			}
+			seen[key] = true
+			var err error
+			switch key {
+			case "framed":
+				if hasVal {
+					err = fmt.Errorf("takes no value")
+				}
+				b.Framed = true
+			case "listen":
+				b.Listen = val
+			case "peer":
+				b.Peer = val
+			case "node":
+				b.Node, err = parseNodeID(val, false)
+			case "dst":
+				b.Dst, err = parseNodeID(val, true)
+			case "ch":
+				var n uint64
+				n, err = strconv.ParseUint(val, 10, 16)
+				b.Channel = radio.ChannelID(n)
+			case "flow":
+				var n uint64
+				n, err = strconv.ParseUint(val, 10, 16)
+				b.Flow = uint16(n)
+			default:
+				err = fmt.Errorf("unknown key")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("portmap line %d: %s: %v", lineNo, f, err)
+			}
+		}
+		if b.Listen == "" || !seen["node"] || !seen["ch"] {
+			return nil, fmt.Errorf("portmap line %d: listen, node and ch are required", lineNo)
+		}
+		for _, prev := range out {
+			if prev.Node == b.Node {
+				return nil, fmt.Errorf("portmap line %d: node %d already bound (one binding per node)", lineNo, b.Node)
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("portmap: no map directives")
+	}
+	return out, nil
+}
+
+// LoadPortMap is ParsePortMap over a file.
+func LoadPortMap(path string) ([]Binding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParsePortMap(f)
+}
+
+func parseNodeID(s string, allowBroadcast bool) (radio.NodeID, error) {
+	if s == "broadcast" {
+		if !allowBroadcast {
+			return 0, fmt.Errorf("broadcast not allowed here")
+		}
+		return radio.Broadcast, nil
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	id := radio.NodeID(n)
+	if id == radio.Broadcast {
+		return 0, fmt.Errorf("reserved id")
+	}
+	return id, nil
+}

@@ -161,6 +161,23 @@ func (p *Pool) Alloc(n int) *Buf {
 	return b
 }
 
+// Allocator is anything that hands out pooled buffers — *Pool and
+// *Local both qualify. It mirrors wire.Alloc so helpers here work with
+// either allocation front.
+type Allocator interface {
+	Alloc(n int) *Buf
+}
+
+// AllocCopy allocates a buffer sized to src and copies src into it —
+// the boundary-crossing idiom: a payload read from a foreign buffer (a
+// socket scratch, a callback-scoped pooled read) repacked into a buffer
+// the caller owns.
+func AllocCopy(a Allocator, src []byte) *Buf {
+	b := a.Alloc(len(src))
+	copy(b.Bytes(), src)
+	return b
+}
+
 // put returns b to its class on the final Free.
 func (p *Pool) put(b *Buf) {
 	p.live.Add(-1)

@@ -169,10 +169,11 @@ type Monitor struct {
 	rec      *Recorder
 	shards   []*Shard
 
-	state    atomic.Uint32 // server-wide State (max over shards)
-	breaches atomic.Uint64
-	lastDump atomic.Pointer[Dump]
-	onBreach atomic.Pointer[func(State, *Dump)]
+	state        atomic.Uint32 // server-wide State (max over shards)
+	breaches     atomic.Uint64
+	lastDump     atomic.Pointer[Dump]
+	onBreach     atomic.Pointer[func(State, *Dump)]
+	onTransition atomic.Pointer[func(shard int, from, to State)]
 
 	// mu serializes server-wide state recomputation: shard transitions
 	// are rare (once per window at most) so a cold mutex is fine, and it
@@ -233,6 +234,34 @@ func (m *Monitor) SetOnBreach(fn func(State, *Dump)) {
 		return
 	}
 	m.onBreach.Store(&fn)
+}
+
+// SetOnTransition installs fn to be called on every health state
+// transition: shard transitions carry the shard index, server-wide
+// transitions carry shard -1. Unlike OnBreach it fires on recoveries
+// too, so a subscriber tracking a gate (the real-traffic gateway's
+// backpressure policy) can both engage and release it. The callback
+// runs on the scanner goroutine that closed the transitioning window,
+// outside the monitor's locks — keep it to a few atomic stores. One
+// subscriber at a time; nil uninstalls.
+func (m *Monitor) SetOnTransition(fn func(shard int, from, to State)) {
+	if fn == nil {
+		m.onTransition.Store(nil)
+		return
+	}
+	m.onTransition.Store(&fn)
+}
+
+// Shards returns how many pipeline shards the monitor accounts — the
+// shard-count a subscriber needs to map node IDs onto shard states.
+func (m *Monitor) Shards() int { return len(m.shards) }
+
+// notifyTransition fires the transition subscriber, if any. Called
+// outside m.mu.
+func (m *Monitor) notifyTransition(shard int, from, to State) {
+	if fn := m.onTransition.Load(); fn != nil {
+		(*fn)(shard, from, to)
+	}
 }
 
 // instrument registers the monitor's metric families. Per-shard series
@@ -305,6 +334,7 @@ func (m *Monitor) refreshServer(nowNs int64) {
 	}
 	fn := m.onBreach.Load()
 	m.mu.Unlock()
+	m.notifyTransition(-1, cur, worst)
 	if dump != nil && fn != nil {
 		(*fn)(worst, dump)
 	}
@@ -372,6 +402,7 @@ func (s *Shard) Record(nowNs, lagNs int64, fired, missed int) (windowClosed bool
 	if next != cur {
 		s.state.Store(uint32(next))
 		s.m.rec.Record(EvStateTransition, s.idx, nowNs, int64(cur), int64(next))
+		s.m.notifyTransition(s.idx, cur, next)
 		s.m.refreshServer(nowNs)
 	}
 	return true

@@ -29,6 +29,9 @@ type Faulty struct {
 	// DropProb silently discards matching sends with this probability.
 	DropProb float64
 	// DupProb transmits a matching send twice with this probability.
+	// Each copy — the original and the duplicate — rolls the drop die
+	// independently, so under loss a duplicated send can lose either
+	// copy or both.
 	DupProb float64
 	// ReorderProb holds a matching send back with this probability; the
 	// held message is transmitted right after the next matching send,
@@ -63,8 +66,8 @@ type Faulty struct {
 type FaultyStats struct {
 	Sends      uint64 // matching Send calls that returned nil
 	Wired      uint64 // matching messages actually transmitted
-	Dropped    uint64 // matching messages silently discarded
-	Duplicated uint64 // extra copies transmitted by DupProb
+	Dropped    uint64 // caller messages lost entirely (no copy reached the wire); at most 1 per Send, even when a duplicate died in the same dice roll
+	Duplicated uint64 // extra copies transmitted by DupProb (transmits beyond the first for one send)
 	Reordered  uint64 // held messages released behind a later send
 	Held       uint64 // messages currently in the hold-back slot (0 or 1)
 }
@@ -133,15 +136,35 @@ func (f *Faulty) Send(m wire.Msg) error {
 		f.sleep(delay)
 		return err
 	}
-	if f.DropProb > 0 && f.rng.Float64() < f.DropProb {
-		f.stats.Dropped++
-		f.stats.Sends++
-		f.mu.Unlock()
-		f.sleep(delay)
-		wire.ReleaseMsg(m) // lost messages still consume their buffer
-		return nil         // silently lost, like a cut cable mid-datagram
-	}
+	// Per-copy loss: the caller's message and (when the dup die fires)
+	// its duplicate each roll the drop die independently — a duplicated
+	// send can lose either copy, or both. Dropped counts caller messages
+	// lost *entirely*: when the duplicate dies in the same dice roll as
+	// the original, that is still one lost message, not two (the
+	// interaction the old accounting double-counted). Duplicated counts
+	// transmits beyond the first for one send, so a duplicate standing
+	// in for a dropped original is not "extra".
+	drop := f.DropProb > 0 && f.rng.Float64() < f.DropProb
 	dup := f.DupProb > 0 && f.rng.Float64() < f.DupProb
+	if dup && f.DropProb > 0 && f.rng.Float64() < f.DropProb {
+		dup = false // the duplicate copy was cut down before the wire
+	}
+	if drop {
+		if !dup {
+			// Every copy died: silently lost, like a cut cable
+			// mid-datagram.
+			f.stats.Dropped++
+			f.stats.Sends++
+			f.mu.Unlock()
+			f.sleep(delay)
+			wire.ReleaseMsg(m) // lost messages still consume their buffer
+			return nil
+		}
+		// The original copy died but its duplicate survived: transmit m
+		// once, standing in for the original. The caller's message
+		// reached the wire, so it is neither Dropped nor an extra copy.
+		dup = false
+	}
 	if f.ReorderProb > 0 && f.held == nil && f.rng.Float64() < f.ReorderProb {
 		// Hold m; it will follow the next matching send out. The hold-back
 		// slot owns the message (and its buffer reference) until then.

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 
+	"repro/internal/mbuf"
 	"repro/internal/wire"
 )
 
@@ -157,6 +159,73 @@ func TestFaultyMatchFilter(t *testing.T) {
 	st := f.Stats()
 	if st.Dropped != 1 || st.Wired != 0 {
 		t.Errorf("stats %+v: unmatched sends must not be counted", st)
+	}
+}
+
+// TestFaultyDropDupAccounting pins the per-copy drop/duplicate
+// interaction with certainty dice: a duplicated send whose copies all
+// die counts Dropped exactly once (the double-count this table guards
+// against), a surviving duplicate standing in for a dropped original is
+// neither Dropped nor Duplicated, and every configuration keeps the
+// pooled-buffer ledger balanced (checked by the pool leak count).
+func TestFaultyDropDupAccounting(t *testing.T) {
+	const sends = 5
+	cases := []struct {
+		name       string
+		drop, dup  float64
+		want       FaultyStats
+		wantOnWire int // messages the peer must be able to receive
+	}{
+		{"clean", 0, 0,
+			FaultyStats{Sends: sends, Wired: sends}, sends},
+		{"drop-only", 1, 0,
+			FaultyStats{Sends: sends, Dropped: sends}, 0},
+		{"dup-only", 0, 1,
+			FaultyStats{Sends: sends, Wired: 2 * sends, Duplicated: sends}, 2 * sends},
+		{"drop-and-dup", 1, 1, // both copies die: Dropped once per send, not twice
+			FaultyStats{Sends: sends, Dropped: sends}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client, server := Pipe()
+			pool := mbuf.NewPool()
+			f := NewFaulty(client, 42)
+			f.DropProb, f.DupProb = tc.drop, tc.dup
+			got := make(chan struct{}, 64)
+			go func() {
+				for {
+					m, err := server.Recv()
+					if err != nil {
+						return
+					}
+					wire.ReleaseMsg(m)
+					got <- struct{}{}
+				}
+			}()
+			for seq := uint32(1); seq <= sends; seq++ {
+				// Pooled payloads so the ledger check is real: every copy
+				// the dice discard must free its buffer reference.
+				buf := pool.Alloc(8)
+				pkt := wire.Packet{Src: 1, Dst: 2, Seq: seq, Payload: buf.Bytes(), Buf: buf}
+				if err := f.Send(wire.AcquireData(pkt)); err != nil {
+					t.Fatalf("send %d: %v", seq, err)
+				}
+			}
+			for i := 0; i < tc.wantOnWire; i++ {
+				select {
+				case <-got:
+				case <-time.After(5 * time.Second):
+					t.Fatalf("received %d of %d wire messages", i, tc.wantOnWire)
+				}
+			}
+			if st := f.Stats(); st != tc.want {
+				t.Errorf("stats %+v, want %+v", st, tc.want)
+			}
+			if live := pool.Live(); live != 0 {
+				t.Errorf("%d pooled buffers leaked by the dice", live)
+			}
+			client.Close()
+		})
 	}
 }
 

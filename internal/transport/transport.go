@@ -422,8 +422,7 @@ func (c *poolIngressConn) Recv() (wire.Msg, error) {
 	if !ok || d.Pkt.Buf != nil {
 		return m, nil // not a packet, or already pooled upstream
 	}
-	buf := c.pool.Alloc(len(d.Pkt.Payload))
-	copy(buf.Bytes(), d.Pkt.Payload)
+	buf := mbuf.AllocCopy(c.pool, d.Pkt.Payload)
 	pkt := d.Pkt
 	pkt.Payload = buf.Bytes()
 	pkt.Buf = buf

@@ -74,3 +74,25 @@ echo "$FID" | awk '
 ' || { echo "fidelity alloc gate: FAILED (deadline accounting must be allocation-free)"; exit 1; }
 
 echo "fidelity alloc gate: OK (deadline accounting and recorder appends allocation-free)"
+
+# The gateway ingress path carries real socket traffic into the
+# emulation; at iperf rates a per-datagram allocation is a regression.
+# Peer learning, the backpressure gate, frame parsing and the pooled
+# copy must all stay on the stack in steady state.
+GW=$(go test -run='^$' -bench='GatewayIngress' -benchmem -benchtime=100x ./internal/gateway)
+echo "$GW"
+
+echo "$GW" | awk '
+	/allocs\/op/ {
+		seen = 1
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "allocs/op" && $i + 0 > 0) {
+				printf "FAIL: %s measured %s allocs/op, budget 0\n", $1, $i
+				bad = 1
+			}
+		}
+	}
+	END { exit bad || !seen }
+' || { echo "gateway alloc gate: FAILED (ingress must be allocation-free)"; exit 1; }
+
+echo "gateway alloc gate: OK (ingress path allocation-free)"

@@ -25,5 +25,6 @@ run ./internal/script FuzzParse
 run ./internal/record FuzzLoad
 run ./internal/routing FuzzDecodeFrame
 run ./internal/routing FuzzProtocolsSurviveGarbage
+run ./internal/gateway FuzzGatewayFrame
 
 echo "fuzz smoke: all targets survived $FUZZTIME"
