@@ -116,46 +116,53 @@ func main() {
 }
 
 // pollHealth feeds the server's /healthz state into the backpressure
-// gate until stop closes. Poll failures read as overrun: a server that
-// cannot answer its own health probe has certainly lost real time.
+// gate until stop closes. Poll outcomes run through gateway.HealthPoll:
+// one failed poll is grace (the last known state keeps governing — a
+// transient blip must not shed ingress), consecutive failures read as
+// overrun with exponentially backed-off retries.
 func pollHealth(gw *gateway.Gateway, url string, every time.Duration, stop <-chan struct{}) {
 	client := &http.Client{Timeout: every}
-	tick := time.NewTicker(every)
-	defer tick.Stop()
+	hp := gateway.NewHealthPoll(every, 0)
+	timer := time.NewTimer(every)
+	defer timer.Stop()
 	last := fidelity.Healthy
 	for {
 		select {
 		case <-stop:
 			return
-		case <-tick.C:
+		case <-timer.C:
 		}
-		st := fetchHealth(client, url)
+		st, delay := hp.Observe(fetchHealth(client, url))
 		if st != last {
 			log.Printf("poem-gateway: server health %s → %s", last, st)
 			last = st
 		}
 		gw.SetHealth(st)
+		timer.Reset(delay)
 	}
 }
 
-func fetchHealth(client *http.Client, url string) fidelity.State {
+func fetchHealth(client *http.Client, url string) (fidelity.State, error) {
 	resp, err := client.Get(url)
 	if err != nil {
-		return fidelity.Overrun
+		return 0, err
 	}
 	defer resp.Body.Close()
 	var rep struct {
 		State string `json:"state"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
-		return fidelity.Overrun
+		return 0, err
 	}
 	switch rep.State {
 	case fidelity.Healthy.String():
-		return fidelity.Healthy
+		return fidelity.Healthy, nil
 	case fidelity.Degraded.String():
-		return fidelity.Degraded
+		return fidelity.Degraded, nil
 	default:
-		return fidelity.Overrun
+		// The server answered and named a state we treat as shedding —
+		// Overrun itself or anything unknown. That is a real report, not a
+		// poll failure: no grace applies.
+		return fidelity.Overrun, nil
 	}
 }

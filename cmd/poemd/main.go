@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,8 +68,24 @@ func main() {
 				"(0 = default 20ms; negative disables deadline/health monitoring)")
 		gatewayMap = flag.String("gateway", "",
 			"port-map file bridging real UDP sockets into the scene (see internal/gateway; empty to disable)")
+		peerList = flag.String("peer", "",
+			"comma-separated client addresses of every cluster peer, this server included, in peer-index order "+
+				"(empty = standalone single-process server)")
+		peerSelf = flag.Int("peer-self", 0,
+			"this server's index into -peer")
+		clusterID = flag.String("cluster-id", "poem",
+			"cluster name trunk handshakes must match (with -peer)")
+		coordinator = flag.Int("coordinator", 0,
+			"peer index owning scene mutations; followers apply its replicated stream (with -peer)")
 	)
 	flag.Parse()
+
+	var peers []core.PeerSpec
+	if *peerList != "" {
+		for _, addr := range strings.Split(*peerList, ",") {
+			peers = append(peers, core.PeerSpec{Addr: strings.TrimSpace(addr)})
+		}
+	}
 
 	clk := vclock.NewSystem(*scale)
 	sc := scene.New(radio.NewIndexed(250), clk, *seed)
@@ -82,6 +99,7 @@ func main() {
 		Obs: reg, Tracer: tracer, ObsSampleEvery: *sampleEvery,
 		Shards: *shards, ScanBatch: *scanBatch,
 		RTTolerance: *rtTolerance,
+		Peers: peers, Self: *peerSelf, ClusterID: *clusterID, Coordinator: *coordinator,
 	})
 	if err != nil {
 		log.Fatalf("poemd: %v", err)
@@ -138,6 +156,14 @@ func main() {
 		log.Fatalf("poemd: %v", err)
 	}
 	log.Printf("poemd: clients on %s (scale %gx, %d shards)", lis.Addr(), *scale, srv.Shards())
+	if len(peers) > 0 {
+		role := "follower"
+		if *peerSelf == *coordinator {
+			role = "coordinator"
+		}
+		log.Printf("poemd: federated peer %d of %d (cluster %q, %s); clients for other peers' VMNs are redirected",
+			*peerSelf, len(peers), *clusterID, role)
+	}
 	serveDone := make(chan struct{})
 	go func() {
 		defer close(serveDone)

@@ -86,6 +86,16 @@ type Config struct {
 	// never perturb the scenario, so one seed hashes identically with
 	// monitoring on or off.
 	RTTolerance time.Duration
+	// Peers selects the federation tier: 0 runs the legacy unclustered
+	// server, 1 runs a single-peer cluster — the cluster routing code
+	// live on every packet, with no trunks or remote peers to route to.
+	// Like Shards it is an execution parameter EXCLUDED from the digest:
+	// one seed must hash and execute identically either way, which is
+	// the acceptance check that federation hides completely behind the
+	// single-process default. Multi-peer scenarios need real scene
+	// replication and trunked routing and run through the dedicated
+	// federated harness (RunFederated), not this Runner.
+	Peers int
 	// Sabotage injects a deliberate harness-side corruption so the
 	// invariant checkers can be shown to catch violations (self-test).
 	Sabotage Sabotage
@@ -130,6 +140,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.ScanBatch < 0 {
 		c.ScanBatch = 0
+	}
+	if c.Peers < 0 {
+		c.Peers = 0
 	}
 	return c
 }

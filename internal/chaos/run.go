@@ -220,12 +220,23 @@ func (r *Runner) setup() error {
 	// The server subscribes the store to scene events in NewServer, so
 	// it must exist before nodes are added or the "add" records — which
 	// the final position check folds — would be missing.
-	srv, err := core.NewServer(core.ServerConfig{
+	scfg := core.ServerConfig{
 		Clock: r.clk, Scene: r.sc, Store: r.store, Seed: cfg.Seed,
 		SendQueueDepth: cfg.QueueDepth, Obs: r.reg, ObsSampleEvery: 4,
 		Shards: cfg.Shards, ScanBatch: cfg.ScanBatch,
 		RTTolerance: cfg.RTTolerance,
-	})
+	}
+	if cfg.Peers > 1 {
+		return fmt.Errorf("chaos: Config.Peers > 1 needs the federated harness (RunFederated)")
+	}
+	if cfg.Peers == 1 {
+		// Single-peer cluster: the federation routing tier is live on
+		// every packet but always resolves local — the digest-identity
+		// baseline against Peers: 0.
+		scfg.Peers = []core.PeerSpec{{Addr: "self"}}
+		scfg.ClusterID = "chaos"
+	}
+	srv, err := core.NewServer(scfg)
 	if err != nil {
 		return err
 	}

@@ -185,6 +185,29 @@ func (s *Server) execute(line string, w io.Writer) {
 			}
 			fmt.Fprintln(w)
 		}
+		// Federated servers add one cluster summary line and one line per
+		// peer: trunk state, cross-server traffic, and how far behind the
+		// coordinator's mutation stream each peer last reported itself.
+		if cs := s.emu.Cluster(); cs != nil {
+			fmt.Fprintf(w, "  cluster id=%s self=%d coordinator=%d peers=%d repseq=%d appliedseq=%d"+
+				" remote=%d recvd=%d trunkdropped=%d reperrors=%d staleness=%v\n",
+				cs.ID, cs.Self, cs.Coordinator, cs.Peers, cs.RepSeq, cs.AppliedSeq,
+				cs.RemoteEntries, cs.RecvEntries, cs.TrunkDropped, cs.RepErrors,
+				time.Duration(cs.StalenessNs))
+			for _, ps := range cs.PeerStats {
+				self := ""
+				if ps.Self {
+					self = " (self)"
+				}
+				fmt.Fprintf(w, "  peer %d addr=%s%s health=%s applied=%d", ps.Peer, ps.Addr, self,
+					ps.Health, ps.AppliedSeq)
+				if !ps.Self {
+					fmt.Fprintf(w, " trunkup=%v sent=%d dropped=%d reconnects=%d dialfails=%d",
+						ps.TrunkUp, ps.SentEntries, ps.DroppedEntries, ps.Reconnects, ps.DialFailures)
+				}
+				fmt.Fprintln(w)
+			}
+		}
 		// One line per channel: how often its dispatch view was rebuilt
 		// (the §4.2 channel-indexed update cost, live).
 		rebuilds := s.scene.ViewRebuildCounts()

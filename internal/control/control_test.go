@@ -131,6 +131,39 @@ func TestStatsWithEmulator(t *testing.T) {
 	}
 }
 
+// TestStatsClusterLines verifies a federated server's stats reply
+// includes the cluster summary and per-peer lines (exercised against a
+// single-peer cluster so no trunks need to connect).
+func TestStatsClusterLines(t *testing.T) {
+	clk := vclock.NewManual(0)
+	sc := scene.New(radio.NewIndexed(200), clk, 1)
+	emu, err := core.NewServer(core.ServerConfig{
+		Clock: clk, Scene: sc,
+		Peers: []core.PeerSpec{{Addr: "self"}}, ClusterID: "ctl-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emu.Close()
+	srv := NewServer(sc, emu, geom.R(0, 0, 500, 500))
+	out := srv.Execute("stats")
+	if !strings.Contains(out, "cluster id=ctl-test self=0 coordinator=0 peers=1") {
+		t.Errorf("stats missing cluster summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "peer 0 addr=self (self)") {
+		t.Errorf("stats missing per-peer line:\n%s", out)
+	}
+	// Unclustered servers must not print cluster lines.
+	emu2, err := core.NewServer(core.ServerConfig{Clock: clk, Scene: scene.New(radio.NewIndexed(8), clk, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emu2.Close()
+	if out := NewServer(sc, emu2, geom.R(0, 0, 500, 500)).Execute("stats"); strings.Contains(out, "cluster id=") {
+		t.Errorf("unclustered stats printed cluster line:\n%s", out)
+	}
+}
+
 func TestSessionOverReaderWriter(t *testing.T) {
 	srv, sc := newControl()
 	in := strings.NewReader("add 2 pos 5,5\n\nnodes\nquit\n")

@@ -1,0 +1,713 @@
+package core
+
+// Federation: N poemd peers jointly own one scene. This file is the
+// cluster routing tier layered over the sharded core — the same idea as
+// ShardIndex one level up. Every VMN id maps to exactly one owning peer
+// (PeerIndex); clients register with their owner (other peers redirect,
+// see register), and a packet's scheduled deliveries split at ingest:
+// targets owned locally take the usual per-shard push, targets owned
+// remotely ride persistent trunks (transport.Trunk) to their peer as
+// batched TrunkBatch frames — the coalesced-push shape of pushItems
+// stretched across machines, pooled mbuf framing included.
+//
+// Scene state replicates one-way from a coordinator peer: its scene
+// subscription serializes every structural mutation into TrunkScene
+// messages which follower peers apply through scene.Apply, driving the
+// same epoch-snapshot publish as a local mutation. Replication is
+// ordered and retried per trunk; staleness — the follower's emulation
+// clock minus the event's coordinator stamp — lands in per-peer obs
+// gauges and a histogram, making the scene-broadcast lag of the MobiEmu
+// baseline a measured production quantity.
+//
+// Lock order: Server.mu before shard.mu before anything in this file;
+// trunk and replication locks are leaves and never held across calls
+// into Server or scene code (the replication subscriber runs under the
+// scene lock and only appends to a queue).
+//
+// Peers: nil (or a single entry) keeps the exact single-server path:
+// routeRemote never fires, no trunks or goroutines exist, and chaos
+// digests are byte-identical with the legacy configuration.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/obs/fidelity"
+	"repro/internal/radio"
+	"repro/internal/scene"
+	"repro/internal/sched"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// PeerSpec identifies one peer of a federated cluster.
+type PeerSpec struct {
+	// Addr is the peer's client listen address: trunks dial it (when
+	// Dial is nil) and registration redirects quote it.
+	Addr string
+	// Dial, when non-nil, overrides Addr for trunk connections — the
+	// in-process federations used by tests and chaos pass listener
+	// dialers here.
+	Dial transport.Dialer
+}
+
+// PeerIndex maps a VMN id onto one of n cluster peers. Like ShardIndex
+// it is multiplicative hashing — and exported contract: clients use it
+// to pick their owner before dialing — but with a different mixer
+// (splitmix64's constant over an offset id), so the peer partition does
+// not align with the shard partition and neither inherits the other's
+// imbalance.
+func PeerIndex(id radio.NodeID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := (uint64(id) + 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return int((h >> 32) % uint64(n))
+}
+
+// DefaultStatusEvery is the trunk heartbeat cadence (wall-clock) when
+// ServerConfig.StatusEvery is zero.
+const DefaultStatusEvery = 200 * time.Millisecond
+
+// cluster is the per-server federation state. nil on unclustered
+// servers; built by NewServer when ServerConfig.Peers is set.
+type cluster struct {
+	srv         *Server
+	id          string
+	self        int
+	coordinator int
+	n           int
+	peers       []PeerSpec
+	trunks      []*transport.Trunk // indexed by peer; nil at self
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// Inbound trunk connections, tracked so Close can cut them (their
+	// handlers run under the server's WaitGroup like client sessions).
+	connMu sync.Mutex
+	conns  map[transport.Conn]struct{}
+
+	// Coordinator-side replication: one ordered queue per remote peer,
+	// appended under repMu by the scene subscriber (which runs under
+	// the scene lock — append only, nothing slow), drained by one
+	// repLoop goroutine per peer that retries on trunk failure so a
+	// healed partition catches up on every mutation it missed.
+	repMu     sync.Mutex
+	repCond   sync.Cond
+	repClosed bool
+	repSeq    uint64
+	queues    [][]wire.TrunkScene
+
+	appliedSeq  atomic.Uint64 // follower: last TrunkScene applied
+	lastStale   atomic.Int64  // follower: last measured staleness, ns
+	peerApplied []atomic.Uint64
+
+	health *fidelity.ClusterHealth
+
+	mRemoteEntries *obs.Counter
+	mTrunkDropped  *obs.Counter
+	mRecvEntries   *obs.Counter
+	mRepErrors     *obs.Counter
+	hStale         *obs.Histogram
+}
+
+// newCluster wires the federation tier onto an assembled server. Called
+// by NewServer after instrument (the obs registry must exist).
+func newCluster(s *Server, cfg ServerConfig) *cluster {
+	cl := &cluster{
+		srv:         s,
+		id:          cfg.ClusterID,
+		self:        cfg.Self,
+		coordinator: cfg.Coordinator,
+		n:           len(cfg.Peers),
+		peers:       cfg.Peers,
+		trunks:      make([]*transport.Trunk, len(cfg.Peers)),
+		done:        make(chan struct{}),
+		conns:       make(map[transport.Conn]struct{}),
+		queues:      make([][]wire.TrunkScene, len(cfg.Peers)),
+		peerApplied: make([]atomic.Uint64, len(cfg.Peers)),
+	}
+	cl.repCond.L = &cl.repMu
+
+	reg := s.obs
+	cl.mRemoteEntries = reg.Counter("poem_cluster_remote_entries_total",
+		"scheduled deliveries routed to remote peers over trunks")
+	cl.mTrunkDropped = reg.Counter("poem_cluster_trunk_dropped_total",
+		"scheduled deliveries dropped because their peer's trunk was down")
+	cl.mRecvEntries = reg.Counter("poem_cluster_recv_entries_total",
+		"scheduled deliveries received over inbound trunks")
+	cl.mRepErrors = reg.Counter("poem_cluster_replication_errors_total",
+		"replicated scene events that failed to apply")
+	cl.hStale = reg.Histogram("poem_cluster_staleness_ns",
+		"scene replication staleness at apply: follower clock minus coordinator event stamp")
+	reg.Gauge("poem_cluster_peers", "peers in the federated cluster",
+		func() float64 { return float64(cl.n) })
+	reg.Gauge("poem_cluster_staleness_last_ns", "last measured scene replication staleness",
+		func() float64 { return float64(cl.lastStale.Load()) })
+	reg.Gauge("poem_cluster_applied_seq", "last replicated scene mutation applied by this peer",
+		func() float64 { return float64(cl.appliedSeq.Load()) })
+	for p := range cl.peers {
+		p := p
+		reg.Gauge(obs.Labeled("poem_cluster_peer_applied_seq", "peer", strconv.Itoa(p)),
+			"last scene mutation this peer reported applied (from trunk heartbeats)",
+			func() float64 { return float64(cl.peerApplied[p].Load()) })
+		reg.Gauge(obs.Labeled("poem_cluster_peer_lag_events", "peer", strconv.Itoa(p)),
+			"scene mutations replicated but not yet reported applied by this peer",
+			func() float64 {
+				cl.repMu.Lock()
+				seq := cl.repSeq
+				cl.repMu.Unlock()
+				applied := cl.peerApplied[p].Load()
+				if p == cl.self || applied >= seq {
+					return 0
+				}
+				return float64(seq - applied)
+			})
+	}
+	cl.health = fidelity.NewClusterHealth(cl.n, cl.self, reg)
+
+	if cl.n > 1 {
+		for p := range cl.peers {
+			if p == cl.self {
+				continue
+			}
+			dial := cl.peers[p].Dial
+			if dial == nil {
+				dial = transport.TCPDialer(cl.peers[p].Addr)
+			}
+			cl.trunks[p] = transport.NewTrunk(transport.TrunkConfig{
+				Dial:       dial,
+				Hello:      &wire.TrunkHello{Ver: wire.Version, From: uint32(cl.self), Cluster: cl.id},
+				MinBackoff: cfg.TrunkMinBackoff,
+				MaxBackoff: cfg.TrunkMaxBackoff,
+				Name:       "peer" + strconv.Itoa(p),
+			})
+		}
+		if cl.self == cl.coordinator {
+			cfg.Scene.Subscribe(cl.replicate)
+			for p := range cl.peers {
+				if p == cl.self {
+					continue
+				}
+				cl.wg.Add(1)
+				go cl.repLoop(p)
+			}
+		}
+		every := cfg.StatusEvery
+		if every <= 0 {
+			every = DefaultStatusEvery
+		}
+		cl.wg.Add(1)
+		go cl.statusLoop(every)
+	}
+	return cl
+}
+
+// validateCluster checks the federation fields of a ServerConfig.
+func validateCluster(cfg ServerConfig) error {
+	if len(cfg.Peers) == 0 {
+		return nil
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Peers) {
+		return fmt.Errorf("core: ServerConfig.Self %d outside Peers[0:%d]", cfg.Self, len(cfg.Peers))
+	}
+	if cfg.Coordinator < 0 || cfg.Coordinator >= len(cfg.Peers) {
+		return fmt.Errorf("core: ServerConfig.Coordinator %d outside Peers[0:%d]", cfg.Coordinator, len(cfg.Peers))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Outbound: remote routing on the ingest path
+
+// routeRemote splits one packet's scheduled deliveries by owning peer:
+// remote targets leave immediately on their peer's trunk as one
+// TrunkBatch per peer (buffer references travel with the entries — the
+// Conn contract consumes them on success and failure alike), local
+// targets compact to the front of items and are returned for the usual
+// per-shard push. Entered counts at the peer where a delivery enters a
+// schedule, so per-server conservation ledgers stay exact and the
+// cluster-wide ledger is their sum. Runs on the session's reader
+// goroutine; grouping scratch lives on the session.
+func (cl *cluster) routeRemote(sess *session, items []sched.Item) []sched.Item {
+	n := len(items)
+	idxs := sess.peerIdx[:0]
+	remote := 0
+	for i := range items {
+		p := int32(PeerIndex(items[i].To, cl.n))
+		if int(p) != cl.self {
+			remote++
+		}
+		idxs = append(idxs, p)
+	}
+	sess.peerIdx = idxs
+	if remote == 0 {
+		return items
+	}
+	for i := 0; i < n; i++ {
+		p := idxs[i]
+		if p < 0 || int(p) == cl.self {
+			continue
+		}
+		tb := wire.AcquireTrunkBatch()
+		for j := i; j < n; j++ {
+			if idxs[j] != p {
+				continue
+			}
+			it := &items[j]
+			if it.Trace != 0 {
+				// Trace slots don't cross trunks; a sampled packet whose
+				// first kept target lives remotely gives its slot back.
+				cl.srv.tracer.Release(it.Trace)
+			}
+			tb.Entries = append(tb.Entries, wire.TrunkEntry{Due: it.Due, To: it.To, Pkt: it.Pkt})
+			idxs[j] = -1
+		}
+		cnt := uint64(len(tb.Entries))
+		if err := cl.trunks[p].Send(tb); err != nil {
+			cl.mTrunkDropped.Add(cnt)
+		} else {
+			cl.mRemoteEntries.Add(cnt)
+		}
+	}
+	w := 0
+	for i := 0; i < n; i++ {
+		if int(idxs[i]) == cl.self {
+			items[w] = items[i]
+			w++
+		}
+	}
+	for i := w; i < n; i++ {
+		items[i] = sched.Item{} // moved out; don't pin pooled buffers
+	}
+	return items[:w]
+}
+
+// ---------------------------------------------------------------------------
+// Inbound: trunk ingress
+
+// asTrunkHello matches the trunk handshake in both its decoded-pointer
+// (TCP) and by-value (in-process pipe) forms.
+func asTrunkHello(m wire.Msg) (*wire.TrunkHello, bool) {
+	switch v := m.(type) {
+	case *wire.TrunkHello:
+		return v, true
+	case wire.TrunkHello:
+		return &v, true
+	}
+	return nil, false
+}
+
+func (cl *cluster) addConn(c transport.Conn) {
+	cl.connMu.Lock()
+	cl.conns[c] = struct{}{}
+	cl.connMu.Unlock()
+}
+
+func (cl *cluster) removeConn(c transport.Conn) {
+	cl.connMu.Lock()
+	delete(cl.conns, c)
+	cl.connMu.Unlock()
+}
+
+// serveTrunk runs one inbound trunk connection after its TrunkHello:
+// batched remote deliveries land in the local shards' schedules,
+// replicated scene mutations apply, heartbeats update the peer roll-up.
+// Runs on the connection's handler goroutine (under Server.wg).
+func (cl *cluster) serveTrunk(conn transport.Conn, hello *wire.TrunkHello) {
+	if hello.Ver != wire.Version || hello.Cluster != cl.id || int(hello.From) >= cl.n {
+		conn.Send(&wire.Bye{Reason: fmt.Sprintf(
+			"core: trunk rejected: cluster %q version %d peer %d", hello.Cluster, hello.Ver, hello.From)})
+		return
+	}
+	cl.addConn(conn)
+	defer cl.removeConn(conn)
+	// Per-connection scratch, same confinement as a session's.
+	var (
+		items []sched.Item
+		idxs  []int32
+		group []sched.Item
+	)
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch v := m.(type) {
+		case *wire.TrunkBatch:
+			items = cl.ingestTrunkBatch(v, items, &idxs, &group)
+		case *wire.TrunkScene:
+			cl.applyScene(v)
+		case *wire.TrunkStatus:
+			cl.noteStatus(v)
+		case *wire.Bye:
+			return
+		default:
+			wire.ReleaseMsg(m) // forward compatibility, like the client loop
+		}
+	}
+}
+
+// ingestTrunkBatch schedules one inbound batch: each entry's buffer
+// reference transfers from the wire message into the schedule item, due
+// times are floored at the local clock (they were computed against the
+// sender's), and the per-shard grouped push counts them Entered here —
+// the receiving side of the cluster conservation ledger.
+func (cl *cluster) ingestTrunkBatch(tb *wire.TrunkBatch, items []sched.Item, idxs *[]int32, group *[]sched.Item) []sched.Item {
+	now := cl.srv.cfg.Clock.Now()
+	items = items[:0]
+	for i := range tb.Entries {
+		e := &tb.Entries[i]
+		due := e.Due
+		if due < now {
+			due = now
+		}
+		items = append(items, sched.Item{Due: due, To: e.To, Pkt: e.Pkt})
+		e.Pkt = wire.Packet{} // reference moved into the schedule item
+	}
+	tb.Entries = tb.Entries[:0]
+	wire.ReleaseTrunkBatch(tb)
+	cl.mRecvEntries.Add(uint64(len(items)))
+	cl.srv.pushGrouped(items, idxs, group)
+	for i := range items {
+		items[i] = sched.Item{}
+	}
+	return items
+}
+
+// ---------------------------------------------------------------------------
+// Scene replication
+
+// replicate is the coordinator's scene subscriber: every structural
+// mutation is sequenced and queued for each remote peer. Runs under the
+// scene lock — append and signal only.
+func (cl *cluster) replicate(e scene.Event) {
+	switch e.Kind {
+	case scene.LinkModelChanged, scene.MobilityChanged:
+		return // not replicable (scene.ErrNotReplicable); NodeMoved carries mobility's effect
+	}
+	ts := wire.TrunkScene{
+		At:   e.At,
+		Kind: uint8(e.Kind),
+		Node: e.Node,
+		X:    e.Pos.X,
+		Y:    e.Pos.Y,
+	}
+	if len(e.Radios) > 0 {
+		ts.Radios = append([]radio.Radio(nil), e.Radios...)
+	}
+	if e.Kind == scene.PausedChanged && e.Detail == "true" {
+		ts.Arg = 1
+	}
+	cl.repMu.Lock()
+	cl.repSeq++
+	ts.Seq = cl.repSeq
+	for p := range cl.queues {
+		if p != cl.self {
+			cl.queues[p] = append(cl.queues[p], ts)
+		}
+	}
+	cl.repMu.Unlock()
+	cl.repCond.Broadcast()
+}
+
+// repLoop drains one peer's replication queue in order. Unlike the
+// data path (drop while down), mutations are retried until they send:
+// a peer that heals from a partition catches up on every scene change
+// it missed, with the catch-up visible as a staleness spike on its
+// gauges.
+func (cl *cluster) repLoop(p int) {
+	defer cl.wg.Done()
+	for {
+		cl.repMu.Lock()
+		for len(cl.queues[p]) == 0 && !cl.repClosed {
+			cl.repCond.Wait()
+		}
+		if cl.repClosed {
+			cl.repMu.Unlock()
+			return
+		}
+		ev := cl.queues[p][0]
+		cl.repMu.Unlock()
+		if err := cl.trunks[p].Send(&ev); err != nil {
+			if errors.Is(err, transport.ErrClosed) {
+				return
+			}
+			select {
+			case <-cl.done:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue // retry the same event
+		}
+		cl.repMu.Lock()
+		cl.queues[p] = cl.queues[p][1:]
+		cl.repMu.Unlock()
+	}
+}
+
+// applyScene is the follower side: perform the mutation, record the
+// replication point, and measure staleness against the coordinator's
+// event stamp (both clocks track the same emulation timebase).
+func (cl *cluster) applyScene(ts *wire.TrunkScene) {
+	e := scene.Event{
+		Kind:   scene.EventKind(ts.Kind),
+		Node:   ts.Node,
+		Pos:    geom.Vec2{X: ts.X, Y: ts.Y},
+		Radios: ts.Radios,
+	}
+	if e.Kind == scene.PausedChanged {
+		if ts.Arg != 0 {
+			e.Detail = "true"
+		} else {
+			e.Detail = "false"
+		}
+	}
+	if err := cl.srv.cfg.Scene.Apply(e); err != nil {
+		cl.mRepErrors.Inc()
+	}
+	cl.appliedSeq.Store(ts.Seq)
+	stale := int64(cl.srv.cfg.Clock.Now() - ts.At)
+	if stale < 0 {
+		stale = 0
+	}
+	cl.lastStale.Store(stale)
+	cl.hStale.Observe(time.Duration(stale))
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+
+// statusLoop broadcasts this peer's health and replication point over
+// every trunk at a fixed wall cadence, and refreshes its own slot in
+// the cluster roll-up.
+func (cl *cluster) statusLoop(every time.Duration) {
+	defer cl.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-cl.done:
+			return
+		case <-t.C:
+		}
+		st := fidelity.Healthy
+		if cl.srv.fid != nil {
+			st = cl.srv.fid.State()
+		}
+		cl.health.Set(cl.self, st)
+		applied := cl.appliedSeq.Load()
+		if cl.self == cl.coordinator {
+			cl.repMu.Lock()
+			applied = cl.repSeq
+			cl.repMu.Unlock()
+		}
+		// Own row of the per-peer applied gauge: every peer publishes its
+		// own value too, so the family is complete on any one registry.
+		cl.peerApplied[cl.self].Store(applied)
+		now := cl.srv.cfg.Clock.Now()
+		for _, tr := range cl.trunks {
+			if tr == nil {
+				continue
+			}
+			tr.Send(&wire.TrunkStatus{
+				From: uint32(cl.self), Health: uint8(st),
+				AppliedSeq: applied, Now: now,
+			})
+		}
+	}
+}
+
+// noteStatus records a peer heartbeat.
+func (cl *cluster) noteStatus(st *wire.TrunkStatus) {
+	p := int(st.From)
+	if p < 0 || p >= cl.n || p == cl.self {
+		return
+	}
+	cl.health.Set(p, fidelity.State(st.Health))
+	cl.peerApplied[p].Store(st.AppliedSeq)
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle and stats
+
+// close stops the outbound machinery: replication and status loops,
+// then every trunk. Inbound connections are cut separately
+// (closeInbound) because their handlers drain under Server.wg.
+func (cl *cluster) close() {
+	cl.closeOnce.Do(func() {
+		close(cl.done)
+		cl.repMu.Lock()
+		cl.repClosed = true
+		cl.repMu.Unlock()
+		cl.repCond.Broadcast()
+		for _, tr := range cl.trunks {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+		cl.wg.Wait()
+	})
+}
+
+// closeInbound cuts every inbound trunk connection, unblocking their
+// handler goroutines.
+func (cl *cluster) closeInbound() {
+	cl.connMu.Lock()
+	conns := make([]transport.Conn, 0, len(cl.conns))
+	for c := range cl.conns {
+		conns = append(conns, c)
+	}
+	cl.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// PeerStat is one cluster peer as seen from this server.
+type PeerStat struct {
+	Peer   int
+	Self   bool
+	Addr   string
+	Health string // last known real-time health state
+	// AppliedSeq is the last replicated scene mutation the peer reported
+	// applied (own value for Self).
+	AppliedSeq uint64
+	// Trunk counters for the outbound trunk to this peer (zero for Self).
+	TrunkUp        bool
+	SentEntries    uint64
+	DroppedEntries uint64
+	Reconnects     uint64
+	DialFailures   uint64
+}
+
+// ClusterStat is a snapshot of the federation tier.
+type ClusterStat struct {
+	ID          string
+	Self        int
+	Coordinator int
+	Peers       int
+	// RepSeq is the coordinator's mutation sequence (zero elsewhere);
+	// AppliedSeq this peer's replication point.
+	RepSeq     uint64
+	AppliedSeq uint64
+	// RemoteEntries/TrunkDropped/RecvEntries are the cluster data-path
+	// counters: deliveries shipped to peers, dropped on dead trunks, and
+	// received from peers. RepErrors counts replicated mutations that
+	// failed to apply.
+	RemoteEntries uint64
+	TrunkDropped  uint64
+	RecvEntries   uint64
+	RepErrors     uint64
+	// StalenessNs is the last measured scene replication staleness.
+	StalenessNs int64
+	PeerStats   []PeerStat
+}
+
+// Cluster snapshots the federation tier, or returns nil on an
+// unclustered server.
+func (s *Server) Cluster() *ClusterStat {
+	cl := s.cluster
+	if cl == nil {
+		return nil
+	}
+	cl.repMu.Lock()
+	repSeq := cl.repSeq
+	cl.repMu.Unlock()
+	st := &ClusterStat{
+		ID:            cl.id,
+		Self:          cl.self,
+		Coordinator:   cl.coordinator,
+		Peers:         cl.n,
+		RepSeq:        repSeq,
+		AppliedSeq:    cl.appliedSeq.Load(),
+		RemoteEntries: cl.mRemoteEntries.Load(),
+		TrunkDropped:  cl.mTrunkDropped.Load(),
+		RecvEntries:   cl.mRecvEntries.Load(),
+		RepErrors:     cl.mRepErrors.Load(),
+		StalenessNs:   cl.lastStale.Load(),
+	}
+	for p := range cl.peers {
+		ps := PeerStat{
+			Peer:       p,
+			Self:       p == cl.self,
+			Addr:       cl.peers[p].Addr,
+			Health:     cl.health.Peer(p).String(),
+			AppliedSeq: cl.peerApplied[p].Load(),
+		}
+		if p == cl.self {
+			ps.AppliedSeq = cl.appliedSeq.Load()
+			if cl.self == cl.coordinator {
+				ps.AppliedSeq = repSeq
+			}
+		}
+		if tr := cl.trunks[p]; tr != nil {
+			ts := tr.Stats()
+			ps.TrunkUp = ts.Up
+			ps.SentEntries = ts.SentEntries
+			ps.DroppedEntries = ts.DroppedBatch
+			ps.Reconnects = ts.Reconnects
+			ps.DialFailures = ts.DialFailures
+		}
+		st.PeerStats = append(st.PeerStats, ps)
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-aware dialing
+
+// DialCluster connects a client to the cluster peer owning cfg.ID:
+// peers[PeerIndex(cfg.ID, len(peers))] is dialed directly, and if that
+// peer disagrees about ownership (mid-reconfiguration) one redirect is
+// followed. peers must list the dialers in cluster peer order.
+func DialCluster(cfg ClientConfig, peers []transport.Dialer) (*Client, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("core: DialCluster needs at least one peer")
+	}
+	owner := PeerIndex(cfg.ID, len(peers))
+	cfg.Dial = peers[owner]
+	c, err := Dial(cfg)
+	if err == nil {
+		return c, nil
+	}
+	if idx, ok := parseRedirect(err.Error()); ok && idx != owner && idx >= 0 && idx < len(peers) {
+		cfg.Dial = peers[idx]
+		return Dial(cfg)
+	}
+	return nil, err
+}
+
+// parseRedirect extracts the owning peer index from a registration
+// redirect ("... belongs to peer N ...").
+func parseRedirect(s string) (int, bool) {
+	const marker = "belongs to peer "
+	i := 0
+	for ; i+len(marker) <= len(s); i++ {
+		if s[i:i+len(marker)] == marker {
+			break
+		}
+	}
+	if i+len(marker) > len(s) {
+		return 0, false
+	}
+	rest := s[i+len(marker):]
+	n, digits := 0, 0
+	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
+		n = n*10 + int(rest[digits]-'0')
+		digits++
+	}
+	if digits == 0 {
+		return 0, false
+	}
+	return n, true
+}

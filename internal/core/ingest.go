@@ -231,15 +231,32 @@ func (s *Server) ingest(sess *session, pkt wire.Packet) {
 }
 
 // pushItems lists one packet's scheduled deliveries into their
-// destination shards, coalescing targets that share a shard so each
-// shard's schedule lock is taken — and its scanner kicked — at most once
-// per packet instead of once per target (§3.2 step 4 under fan-out: a
-// broadcast that kept k survivors used to cost k lock cycles; now it
-// costs one per distinct destination shard). The order within items is
-// preserved inside every group, so per-destination FIFO is exactly what
-// sequential pushes produced. Runs on the session's reader goroutine;
-// the grouping scratch lives on the session (same confinement as kept).
+// destination shards — and, on a federated server, first splits off the
+// deliveries whose target VMN is owned by a remote peer: those leave on
+// the cluster trunks (cluster.routeRemote) and only the locally-owned
+// remainder goes through the shard grouping. Runs on the session's
+// reader goroutine; the grouping scratch lives on the session (same
+// confinement as kept).
 func (s *Server) pushItems(sess *session, items []sched.Item) {
+	if cl := s.cluster; cl != nil {
+		items = cl.routeRemote(sess, items)
+	}
+	s.pushGrouped(items, &sess.shardIdx, &sess.group)
+	for i := range items {
+		items[i] = sched.Item{}
+	}
+}
+
+// pushGrouped is the shard-coalescing push: targets that share a shard
+// are gathered so each shard's schedule lock is taken — and its scanner
+// kicked — at most once per call instead of once per target (§3.2 step
+// 4 under fan-out: a broadcast that kept k survivors used to cost k
+// lock cycles; now it costs one per distinct destination shard). The
+// order within items is preserved inside every group, so
+// per-destination FIFO is exactly what sequential pushes produced.
+// idxsp/groupp are the caller's reusable scratch (a session's, or a
+// trunk ingress connection's).
+func (s *Server) pushGrouped(items []sched.Item, idxsp *[]int32, groupp *[]sched.Item) {
 	n := len(items)
 	switch {
 	case n == 0:
@@ -253,35 +270,32 @@ func (s *Server) pushItems(sess *session, items []sched.Item) {
 		// unclaimed item, gather every later item on the same shard (in
 		// order) and hand the group over in one pushBatch. O(n·shards)
 		// worst case with n bounded by the scene's neighbor count.
-		idxs := sess.shardIdx[:0]
+		idxs := (*idxsp)[:0]
 		for i := range items {
 			idxs = append(idxs, int32(ShardIndex(items[i].To, len(s.shards))))
 		}
-		sess.shardIdx = idxs
+		*idxsp = idxs
 		for i := 0; i < n; i++ {
 			sh := idxs[i]
 			if sh < 0 {
 				continue
 			}
-			group := append(sess.group[:0], items[i])
+			group := append((*groupp)[:0], items[i])
 			for j := i + 1; j < n; j++ {
 				if idxs[j] == sh {
 					group = append(group, items[j])
 					idxs[j] = -1
 				}
 			}
-			sess.group = group
+			*groupp = group
 			s.shards[sh].pushBatch(group)
 		}
 		// The schedule owns copies now; drop the group scratch's packet
 		// references so a pooled buffer freed after delivery is not kept
-		// reachable by this session's idle scratch.
-		for i := range sess.group {
-			sess.group[i] = sched.Item{}
+		// reachable by this caller's idle scratch.
+		for i := range *groupp {
+			(*groupp)[i] = sched.Item{}
 		}
-	}
-	for i := range items {
-		items[i] = sched.Item{}
 	}
 }
 

@@ -91,6 +91,14 @@ func (s *Server) Close() {
 		sess.shutdown()
 		sess.conn.Close()
 	}
+	// Federation: stop the outbound machinery (replication, heartbeats,
+	// trunks), then cut inbound trunk connections — their handlers run
+	// under s.wg just like client sessions, so they must unblock before
+	// the Wait below.
+	if cl := s.cluster; cl != nil {
+		cl.close()
+		cl.closeInbound()
+	}
 	s.wg.Wait()
 	// A nil ticker means Start never ran: the scanner goroutines were
 	// never launched, and Scanner.Stop would block forever waiting for

@@ -66,6 +66,12 @@ type session struct {
 	// the session's own reader goroutine touches it (same confinement as
 	// kept), so the gate costs no contended atomic on the hot path.
 	obsTick uint32
+
+	// peerIdx is the federation routing scratch: one owning-peer index
+	// per item of a packet's delivery list (cluster.routeRemote). Same
+	// reader-goroutine confinement as kept; unused on unclustered
+	// servers.
+	peerIdx []int32
 }
 
 // keptTarget is one link-model survivor of a dispatch: the receiver and
@@ -82,10 +88,24 @@ func (sess *session) shutdown() {
 	sess.q.close()
 }
 
-// handle runs one client session from Hello to disconnect.
+// handle runs one inbound connection: a client session from Hello to
+// disconnect, or — when the first message is a trunk handshake on a
+// federated server — a peer trunk for its whole lifetime.
 func (s *Server) handle(conn transport.Conn) {
 	defer conn.Close()
-	sess, err := s.register(conn)
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if th, ok := asTrunkHello(first); ok {
+		if cl := s.cluster; cl != nil {
+			cl.serveTrunk(conn, th)
+		} else {
+			conn.Send(&wire.Bye{Reason: "core: not a federated server"})
+		}
+		return
+	}
+	sess, err := s.register(conn, first)
 	if err != nil {
 		conn.Send(&wire.Bye{Reason: err.Error()})
 		return
@@ -121,12 +141,9 @@ func (s *Server) handle(conn transport.Conn) {
 }
 
 // register performs the Hello/HelloAck handshake and binds the session
-// to a VMN on its owning shard.
-func (s *Server) register(conn transport.Conn) (*session, error) {
-	m, err := conn.Recv()
-	if err != nil {
-		return nil, fmt.Errorf("core: handshake: %w", err)
-	}
+// to a VMN on its owning shard. m is the connection's first message,
+// already received by handle.
+func (s *Server) register(conn transport.Conn, m wire.Msg) (*session, error) {
 	hello, ok := m.(*wire.Hello)
 	if !ok {
 		wire.ReleaseMsg(m) // a pooled Data before Hello still owns a buffer
@@ -138,6 +155,14 @@ func (s *Server) register(conn transport.Conn) (*session, error) {
 	id := hello.ProposedID
 	if id == radio.Broadcast {
 		return nil, errors.New("core: client must propose a concrete VMN id")
+	}
+	if cl := s.cluster; cl != nil {
+		// Federation ownership check: a client belongs to exactly one
+		// peer. The rejection quotes the owner so DialCluster (or an
+		// operator reading the Bye) can follow the redirect.
+		if owner := PeerIndex(id, cl.n); owner != cl.self {
+			return nil, fmt.Errorf("core: VMN %v belongs to peer %d (%s)", id, owner, cl.peers[owner].Addr)
+		}
 	}
 	if !s.cfg.Scene.HasNode(id) {
 		if !s.cfg.AutoCreateNodes {

@@ -162,6 +162,32 @@ type ServerConfig struct {
 	// window (fidelity.Config.Window). Zero selects the default; tests
 	// shrink it so state transitions trip quickly.
 	RTWindow int
+
+	// --- Federation (cluster.go) ---
+
+	// Peers, when set, makes this server one member of a federated
+	// cluster that jointly owns the scene: every VMN id maps to exactly
+	// one owning peer (PeerIndex), clients register with their owner
+	// (other peers redirect), and cross-peer deliveries ride persistent
+	// trunks. nil — the default — is the exact single-server path; a
+	// single-entry slice exercises the cluster code with no remote peers
+	// (the digest-identity baseline).
+	Peers []PeerSpec
+	// Self is this server's index into Peers.
+	Self int
+	// ClusterID names the federation; trunks from a different cluster
+	// are rejected at the handshake. Optional but strongly recommended
+	// when several federations share a network.
+	ClusterID string
+	// Coordinator is the index of the peer whose scene is authoritative:
+	// its mutations replicate to everyone else. Defaults to peer 0.
+	Coordinator int
+	// StatusEvery is the trunk heartbeat cadence (wall-clock); zero
+	// selects DefaultStatusEvery.
+	StatusEvery time.Duration
+	// TrunkMinBackoff/TrunkMaxBackoff bound the trunk reconnect backoff
+	// (transport.TrunkConfig); zeros select the transport defaults.
+	TrunkMinBackoff, TrunkMaxBackoff time.Duration
 }
 
 // DefaultObsSampleEvery is the per-session sampling period for stage
@@ -234,6 +260,10 @@ type Server struct {
 	// accounting, the health state machine, and the flight recorder.
 	// nil when RTTolerance is negative (monitoring disabled).
 	fid *fidelity.Monitor
+
+	// cluster is the federation tier (cluster.go); nil on an
+	// unclustered server, which keeps the legacy path untouched.
+	cluster *cluster
 
 	mReceived     *obs.Counter
 	mForwarded    *obs.Counter
@@ -310,6 +340,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Shards > 1 && cfg.Queue != nil {
 		return nil, errors.New("core: ServerConfig.Queue is single-shard; use QueueFactory with Shards > 1")
 	}
+	if err := validateCluster(cfg); err != nil {
+		return nil, err
+	}
 	if cfg.TickStep <= 0 {
 		cfg.TickStep = 100 * time.Millisecond
 	}
@@ -335,6 +368,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.shards[i] = newShard(i, s, q)
 	}
 	s.instrument(cfg)
+	if len(cfg.Peers) > 0 {
+		s.cluster = newCluster(s, cfg)
+	}
 	if cfg.Store != nil {
 		cfg.Scene.Subscribe(func(e scene.Event) {
 			cfg.Store.AddScene(record.Scene{

@@ -1,0 +1,83 @@
+package gateway
+
+// Health-poll hardening for the backpressure feed. The gateway learns
+// the server's fidelity state by polling /healthz; the naive policy —
+// any poll error reads as Overrun — turns every transient blip (a GC
+// pause in the debug server, one lost SYN, a scrape racing a restart)
+// into a full ingress shed, which is exactly the kind of fidelity lie
+// the gate exists to prevent. HealthPoll is the pure state machine that
+// fixes this: one failed poll is forgiven (the last known state keeps
+// governing), and only consecutive failures declare Overrun, with
+// exponentially backed-off retries so a dead server is not hammered at
+// the poll rate.
+
+import (
+	"time"
+
+	"repro/internal/obs/fidelity"
+)
+
+// HealthPoll decides what health state governs the backpressure gate
+// after each poll attempt, and when to poll next. It is a pure state
+// machine — no clocks, no goroutines — so the policy is unit-testable
+// apart from the HTTP plumbing that feeds it. Not safe for concurrent
+// use; the poll loop owns it.
+type HealthPoll struct {
+	// Interval is the steady-state poll period while polls succeed (and
+	// for the single grace retry after the first failure).
+	Interval time.Duration
+	// MaxBackoff caps the failure backoff. Zero defaults to 8×Interval.
+	MaxBackoff time.Duration
+
+	last  fidelity.State
+	fails int
+}
+
+// NewHealthPoll returns a poll policy starting from Healthy — the
+// gateway admits traffic until the first successful poll says otherwise,
+// matching the pre-poll default of the gate itself.
+func NewHealthPoll(interval, maxBackoff time.Duration) *HealthPoll {
+	return &HealthPoll{Interval: interval, MaxBackoff: maxBackoff, last: fidelity.Healthy}
+}
+
+// Observe folds one poll attempt into the policy: st is the state the
+// server reported (ignored when err is non-nil) and err is the poll
+// failure, if any. It returns the state that should govern the gate and
+// the delay before the next poll.
+//
+// A successful poll resets the failure count and governs directly. The
+// first failure after any success is grace: the last known state keeps
+// governing and the retry comes at the normal interval — one lost poll
+// says nothing about the emulation's real-time health. From the second
+// consecutive failure on, the server is presumed to have genuinely lost
+// real time (or died), the gate reads Overrun, and the retry delay
+// doubles per failure up to MaxBackoff.
+func (hp *HealthPoll) Observe(st fidelity.State, err error) (fidelity.State, time.Duration) {
+	if err == nil {
+		hp.fails = 0
+		hp.last = st
+		return st, hp.Interval
+	}
+	hp.fails++
+	if hp.fails == 1 {
+		return hp.last, hp.Interval
+	}
+	// fails≥2: Overrun, with the delay doubling per extra failure:
+	// 2×, 4×, 8×, ... Interval, capped.
+	max := hp.MaxBackoff
+	if max <= 0 {
+		max = 8 * hp.Interval
+	}
+	delay := hp.Interval
+	for i := 1; i < hp.fails && delay < max; i++ {
+		delay *= 2
+	}
+	if delay > max {
+		delay = max
+	}
+	hp.last = fidelity.Overrun
+	return fidelity.Overrun, delay
+}
+
+// Failing reports how many consecutive polls have failed.
+func (hp *HealthPoll) Failing() int { return hp.fails }

@@ -1,0 +1,79 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs/fidelity"
+)
+
+func TestHealthPollGraceAndBackoff(t *testing.T) {
+	const iv = 100 * time.Millisecond
+	hp := NewHealthPoll(iv, 8*iv)
+	errPoll := errors.New("connection refused")
+
+	// Steady state: successes govern directly at the base interval.
+	st, d := hp.Observe(fidelity.Healthy, nil)
+	if st != fidelity.Healthy || d != iv {
+		t.Fatalf("success: got (%v, %v), want (Healthy, %v)", st, d, iv)
+	}
+	st, d = hp.Observe(fidelity.Degraded, nil)
+	if st != fidelity.Degraded || d != iv {
+		t.Fatalf("degraded success: got (%v, %v), want (Degraded, %v)", st, d, iv)
+	}
+
+	// First failure is grace: the last known state keeps governing — a
+	// transient poll blip must NOT read as overrun.
+	st, d = hp.Observe(0, errPoll)
+	if st != fidelity.Degraded || d != iv {
+		t.Fatalf("first failure: got (%v, %v), want grace (Degraded, %v)", st, d, iv)
+	}
+	if hp.Failing() != 1 {
+		t.Fatalf("first failure: Failing() = %d, want 1", hp.Failing())
+	}
+
+	// Second consecutive failure declares Overrun and starts backing off.
+	st, d = hp.Observe(0, errPoll)
+	if st != fidelity.Overrun || d != 2*iv {
+		t.Fatalf("second failure: got (%v, %v), want (Overrun, %v)", st, d, 2*iv)
+	}
+	// Further failures double the delay up to the cap.
+	if _, d = hp.Observe(0, errPoll); d != 4*iv {
+		t.Fatalf("third failure: delay %v, want %v", d, 4*iv)
+	}
+	if _, d = hp.Observe(0, errPoll); d != 8*iv {
+		t.Fatalf("fourth failure: delay %v, want %v", d, 8*iv)
+	}
+	if st, d = hp.Observe(0, errPoll); st != fidelity.Overrun || d != 8*iv {
+		t.Fatalf("fifth failure: got (%v, %v), want capped (Overrun, %v)", st, d, 8*iv)
+	}
+
+	// Recovery: one success resets everything — state, failure count, and
+	// the poll cadence.
+	st, d = hp.Observe(fidelity.Healthy, nil)
+	if st != fidelity.Healthy || d != iv || hp.Failing() != 0 {
+		t.Fatalf("recovery: got (%v, %v, fails=%d), want (Healthy, %v, 0)", st, d, hp.Failing(), iv)
+	}
+	// And the next single failure is grace again, holding Healthy.
+	if st, _ = hp.Observe(0, errPoll); st != fidelity.Healthy {
+		t.Fatalf("post-recovery failure: got %v, want grace Healthy", st)
+	}
+}
+
+func TestHealthPollDefaults(t *testing.T) {
+	const iv = 50 * time.Millisecond
+	hp := NewHealthPoll(iv, 0) // MaxBackoff zero → 8×Interval cap
+	errPoll := errors.New("timeout")
+	// Before any poll completes, the gate reads Healthy (admit traffic).
+	if st, _ := hp.Observe(0, errPoll); st != fidelity.Healthy {
+		t.Fatalf("initial grace: got %v, want Healthy", st)
+	}
+	var d time.Duration
+	for i := 0; i < 10; i++ {
+		_, d = hp.Observe(0, errPoll)
+	}
+	if d != 8*iv {
+		t.Fatalf("default cap: delay %v, want %v", d, 8*iv)
+	}
+}

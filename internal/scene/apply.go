@@ -1,0 +1,49 @@
+package scene
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotReplicable marks event kinds that cannot be applied from a
+// replicated event: link models and mobility models are live Go values
+// configured on each peer directly (they carry behavior, not state), so
+// the federation coordinator does not ship them. Mobility still
+// replicates in effect — the coordinator's walkers emit NodeMoved
+// events, which do apply.
+var ErrNotReplicable = errors.New("scene: event kind is not replicable")
+
+// Apply performs the mutation a scene Event describes, re-emitting it
+// locally — the follower half of federated scene replication: the
+// coordinator's subscribers serialize events onto the cluster trunks,
+// and each peer applies them here, which drives the same epoch-snapshot
+// publish (and therefore dispatch-view rebuilds, store records, client
+// radio notifications) as a local mutation would.
+//
+// Only the structural kinds apply; LinkModelChanged and MobilityChanged
+// return ErrNotReplicable (see above), unknown kinds an error. At and
+// Detail are informational except for PausedChanged, whose boolean
+// rides Detail ("true"/"false") exactly as the emitting side encoded
+// it.
+func (s *Scene) Apply(e Event) error {
+	switch e.Kind {
+	case NodeAdded:
+		return s.AddNode(e.Node, e.Pos, e.Radios)
+	case NodeRemoved:
+		s.RemoveNode(e.Node)
+		return nil
+	case NodeMoved:
+		s.MoveNode(e.Node, e.Pos)
+		return nil
+	case RadiosChanged:
+		s.SetRadios(e.Node, e.Radios)
+		return nil
+	case PausedChanged:
+		s.SetPaused(e.Detail == "true")
+		return nil
+	case LinkModelChanged, MobilityChanged:
+		return ErrNotReplicable
+	default:
+		return fmt.Errorf("scene: apply: unknown event kind %d", e.Kind)
+	}
+}

@@ -74,10 +74,10 @@ type Dialer func() (Conn, error)
 // TCP transport
 
 type tcpConn struct {
-	c    net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	pool *mbuf.Pool  // non-nil: frames are read into pooled buffers
+	c     net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	pool  *mbuf.Pool  // non-nil: frames are read into pooled buffers
 	local *mbuf.Local // reader-owned allocation cache, built lazily
 
 	mu   sync.Mutex // guards bw, the scratch buffers, and write ordering

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrTrunkDown is returned by Trunk.Send while the trunk is between
+// reconnect attempts: the message was consumed (dropped), and the next
+// attempt is deferred until the backoff expires.
+var ErrTrunkDown = errors.New("transport: trunk down, backing off")
+
+// Trunk backoff defaults. The floor keeps a flapping peer from being
+// hammered with dials; the ceiling keeps recovery prompt once a killed
+// peer returns.
+const (
+	DefaultTrunkMinBackoff = 10 * time.Millisecond
+	DefaultTrunkMaxBackoff = 2 * time.Second
+)
+
+// TrunkConfig configures a Trunk.
+type TrunkConfig struct {
+	// Dial establishes (and re-establishes) the underlying connection.
+	Dial Dialer
+	// Hello, when non-nil, is sent first on every fresh connection —
+	// the trunk handshake. It must be an unpooled message, since it is
+	// re-sent verbatim after every reconnect.
+	Hello wire.Msg
+	// MinBackoff/MaxBackoff bound the exponential retry delay after a
+	// dial or send failure (wall-clock; defaults above).
+	MinBackoff, MaxBackoff time.Duration
+	// Name labels the trunk for logs and stats.
+	Name string
+}
+
+// TrunkStats is a snapshot of a trunk's counters.
+type TrunkStats struct {
+	Name         string
+	Up           bool
+	SentMsgs     uint64 // messages handed to the live connection
+	SentEntries  uint64 // TrunkBatch entries among them
+	Dropped      uint64 // messages consumed while down / on send error
+	DroppedBatch uint64 // TrunkBatch entries among them
+	Reconnects   uint64 // successful (re)connections
+	DialFailures uint64
+}
+
+// Trunk is a persistent server-to-server connection that survives peer
+// restarts: Send lazily (re)dials with exponential backoff and drops —
+// never blocks on — traffic that arrives while the peer is unreachable.
+// Dropping is the correct federation behavior for scheduled deliveries
+// (the cluster conservation ledger counts them, exactly like queue
+// drops), while callers needing reliability (scene replication) retry
+// at their own layer on the returned error.
+//
+// Send consumes pooled messages whether it succeeds or not, matching
+// the Conn contract. Safe for concurrent senders.
+type Trunk struct {
+	cfg TrunkConfig
+
+	mu      sync.Mutex
+	conn    Conn
+	closed  bool
+	backoff time.Duration
+	nextTry time.Time
+
+	sentMsgs     atomic.Uint64
+	sentEntries  atomic.Uint64
+	dropped      atomic.Uint64
+	droppedBatch atomic.Uint64
+	reconnects   atomic.Uint64
+	dialFails    atomic.Uint64
+}
+
+// NewTrunk returns a Trunk; no connection is attempted until the first
+// Send.
+func NewTrunk(cfg TrunkConfig) *Trunk {
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = DefaultTrunkMinBackoff
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = DefaultTrunkMaxBackoff
+	}
+	return &Trunk{cfg: cfg}
+}
+
+// entries counts the deliveries a message carries, for the stats split
+// between control traffic and the batched data path.
+func entries(m wire.Msg) int {
+	if tb, ok := m.(*wire.TrunkBatch); ok {
+		return len(tb.Entries)
+	}
+	return 0
+}
+
+// Send transmits m over the trunk, dialing first if necessary. While
+// the peer is unreachable (dial failed recently, backoff pending) m is
+// consumed and ErrTrunkDown returned immediately — the trunk never
+// blocks the forwarding path on a dead peer.
+func (t *Trunk) Send(m wire.Msg) error {
+	n := entries(m)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		wire.ReleaseMsg(m)
+		return ErrClosed
+	}
+	if t.conn == nil {
+		if !t.nextTry.IsZero() && time.Now().Before(t.nextTry) {
+			t.mu.Unlock()
+			t.drop(m, n)
+			return ErrTrunkDown
+		}
+		if err := t.redialLocked(); err != nil {
+			t.mu.Unlock()
+			t.drop(m, n)
+			return err
+		}
+	}
+	conn := t.conn
+	err := conn.Send(m) // consumes m, success or not
+	if err != nil {
+		conn.Close()
+		if t.conn == conn {
+			t.conn = nil
+		}
+		t.armBackoffLocked()
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		t.droppedBatch.Add(uint64(n))
+		return err
+	}
+	t.mu.Unlock()
+	t.sentMsgs.Add(1)
+	t.sentEntries.Add(uint64(n))
+	return nil
+}
+
+func (t *Trunk) drop(m wire.Msg, n int) {
+	wire.ReleaseMsg(m)
+	t.dropped.Add(1)
+	t.droppedBatch.Add(uint64(n))
+}
+
+// redialLocked dials and performs the trunk handshake; t.mu held.
+func (t *Trunk) redialLocked() error {
+	c, err := t.cfg.Dial()
+	if err != nil {
+		t.dialFails.Add(1)
+		t.armBackoffLocked()
+		return err
+	}
+	if t.cfg.Hello != nil {
+		if err := c.Send(t.cfg.Hello); err != nil {
+			c.Close()
+			t.armBackoffLocked()
+			return err
+		}
+	}
+	// The trunk is send-only; drain (and discard) whatever the peer
+	// sends back — a Bye on cluster mismatch, otherwise nothing — so
+	// the socket's receive window can't fill and stall sends.
+	go drainConn(c)
+	t.conn = c
+	t.backoff = 0
+	t.nextTry = time.Time{}
+	t.reconnects.Add(1)
+	return nil
+}
+
+func (t *Trunk) armBackoffLocked() {
+	if t.backoff == 0 {
+		t.backoff = t.cfg.MinBackoff
+	} else if t.backoff < t.cfg.MaxBackoff {
+		t.backoff *= 2
+		if t.backoff > t.cfg.MaxBackoff {
+			t.backoff = t.cfg.MaxBackoff
+		}
+	}
+	t.nextTry = time.Now().Add(t.backoff)
+}
+
+// drainConn discards inbound messages until the connection dies.
+func drainConn(c Conn) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		wire.ReleaseMsg(m)
+	}
+}
+
+// Connected reports whether a live connection is currently established.
+func (t *Trunk) Connected() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.conn != nil
+}
+
+// Stats snapshots the trunk counters.
+func (t *Trunk) Stats() TrunkStats {
+	t.mu.Lock()
+	up := t.conn != nil
+	t.mu.Unlock()
+	return TrunkStats{
+		Name:         t.cfg.Name,
+		Up:           up,
+		SentMsgs:     t.sentMsgs.Load(),
+		SentEntries:  t.sentEntries.Load(),
+		Dropped:      t.dropped.Load(),
+		DroppedBatch: t.droppedBatch.Load(),
+		Reconnects:   t.reconnects.Load(),
+		DialFailures: t.dialFails.Load(),
+	}
+}
+
+// Close tears the trunk down; subsequent Sends fail with ErrClosed.
+func (t *Trunk) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	c := t.conn
+	t.conn = nil
+	t.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// flakyDialer dials through an InprocListener but can be switched off
+// to simulate a partition: dials fail while down, and Cut closes every
+// connection it previously handed out.
+type flakyDialer struct {
+	lis *InprocListener
+
+	mu    sync.Mutex
+	down  bool
+	conns []Conn
+	dials int
+}
+
+func (d *flakyDialer) dial() (Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dials++
+	if d.down {
+		return nil, errors.New("flaky: partitioned")
+	}
+	c, err := d.lis.Dial()
+	if err != nil {
+		return nil, err
+	}
+	d.conns = append(d.conns, c)
+	return c, nil
+}
+
+func (d *flakyDialer) cut() {
+	d.mu.Lock()
+	d.down = true
+	conns := d.conns
+	d.conns = nil
+	d.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (d *flakyDialer) heal() {
+	d.mu.Lock()
+	d.down = false
+	d.mu.Unlock()
+}
+
+// acceptLoop consumes server-side trunk connections, counting received
+// batch entries.
+func acceptLoop(t *testing.T, lis *InprocListener, got *atomic.Uint64, hellos *atomic.Uint64) {
+	t.Helper()
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		go func(c Conn) {
+			for {
+				m, err := c.Recv()
+				if err != nil {
+					return
+				}
+				switch v := m.(type) {
+				case wire.TrunkHello, *wire.TrunkHello:
+					hellos.Add(1)
+				case *wire.TrunkBatch:
+					got.Add(uint64(len(v.Entries)))
+				}
+				wire.ReleaseMsg(m)
+			}
+		}(c)
+	}
+}
+
+func batchOf(n int) *wire.TrunkBatch {
+	tb := wire.AcquireTrunkBatch()
+	for i := 0; i < n; i++ {
+		tb.Entries = append(tb.Entries, wire.TrunkEntry{
+			Due: 10, To: 1,
+			Pkt: wire.Packet{Src: 2, Dst: 1, Channel: 1, Payload: []byte("x")},
+		})
+	}
+	return tb
+}
+
+// TestTrunkReconnect: a trunk survives its peer cutting every
+// connection — sends during the partition drop fast (no blocking), and
+// after the dialer heals the next send past the backoff re-handshakes.
+func TestTrunkReconnect(t *testing.T) {
+	lis := NewInprocListener()
+	defer lis.Close()
+	var got, hellos atomic.Uint64
+	go acceptLoop(t, lis, &got, &hellos)
+
+	d := &flakyDialer{lis: lis}
+	tr := NewTrunk(TrunkConfig{
+		Dial:       d.dial,
+		Hello:      wire.TrunkHello{Ver: wire.Version, From: 0, Cluster: "t"},
+		MinBackoff: time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+		Name:       "peer1",
+	})
+	defer tr.Close()
+
+	if err := tr.Send(batchOf(3)); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	waitFor(t, func() bool { return got.Load() == 3 }, "initial batch delivered")
+	if hellos.Load() != 1 {
+		t.Fatalf("hellos = %d, want 1", hellos.Load())
+	}
+
+	d.cut()
+	// The cut conn fails the next send; subsequent sends during backoff
+	// must return immediately with ErrTrunkDown rather than blocking.
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Connected() && time.Now().Before(deadline) {
+		tr.Send(batchOf(1))
+		time.Sleep(100 * time.Microsecond)
+	}
+	if tr.Connected() {
+		t.Fatal("trunk still connected after cut")
+	}
+	start := time.Now()
+	err := tr.Send(batchOf(1))
+	if err == nil {
+		t.Fatal("send during partition succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("send during partition blocked %v", elapsed)
+	}
+
+	d.heal()
+	// Retry until the backoff window passes and the trunk re-dials.
+	waitFor(t, func() bool {
+		tr.Send(batchOf(1))
+		return tr.Connected()
+	}, "trunk reconnected")
+	waitFor(t, func() bool { return hellos.Load() == 2 }, "handshake re-sent")
+
+	st := tr.Stats()
+	if st.Dropped == 0 {
+		t.Error("no drops recorded during partition")
+	}
+	if st.Reconnects < 2 {
+		t.Errorf("reconnects = %d, want >= 2", st.Reconnects)
+	}
+}
+
+// TestTrunkBackoffDefers: while backing off, Send must not dial at all.
+func TestTrunkBackoffDefers(t *testing.T) {
+	d := &flakyDialer{down: true}
+	tr := NewTrunk(TrunkConfig{
+		Dial:       d.dial,
+		MinBackoff: time.Hour, // park the retry far away
+		MaxBackoff: time.Hour,
+	})
+	defer tr.Close()
+
+	if err := tr.Send(batchOf(1)); err == nil {
+		t.Fatal("send with dead dialer succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		if err := tr.Send(batchOf(1)); !errors.Is(err, ErrTrunkDown) {
+			t.Fatalf("send %d: got %v, want ErrTrunkDown", i, err)
+		}
+	}
+	d.mu.Lock()
+	dials := d.dials
+	d.mu.Unlock()
+	if dials != 1 {
+		t.Fatalf("dialed %d times during backoff, want 1", dials)
+	}
+	if st := tr.Stats(); st.Dropped != 11 || st.DroppedBatch != 11 {
+		t.Fatalf("dropped = %d/%d entries, want 11/11", st.Dropped, st.DroppedBatch)
+	}
+}
+
+// TestTrunkClosedSendConsumes: Send after Close still consumes the
+// message (no pooled-wrapper leak) and reports ErrClosed.
+func TestTrunkClosedSendConsumes(t *testing.T) {
+	lis := NewInprocListener()
+	defer lis.Close()
+	tr := NewTrunk(TrunkConfig{Dial: lis.Dial})
+	tr.Close()
+	if err := tr.Send(batchOf(2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// BenchmarkTrunkBatchSend measures the trunk batch-send path over the
+// in-process transport with a draining receiver: steady state must not
+// allocate (the wrapper and its entry array are pooled; the pipe
+// transfers by reference). Gated by scripts/check_allocs.sh.
+func BenchmarkTrunkBatchSend(b *testing.B) {
+	lis := NewInprocListener()
+	defer lis.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return
+			}
+			wire.ReleaseMsg(m)
+		}
+	}()
+
+	tr := NewTrunk(TrunkConfig{Dial: lis.Dial, Hello: wire.TrunkHello{Ver: wire.Version}})
+	defer func() {
+		tr.Close()
+		<-done
+	}()
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb := wire.AcquireTrunkBatch()
+		for j := 0; j < 16; j++ {
+			tb.Entries = append(tb.Entries, wire.TrunkEntry{
+				Due: 100, To: 1,
+				Pkt: wire.Packet{Src: 2, Dst: 1, Channel: 1, Seq: uint32(j), Payload: payload},
+			})
+		}
+		if err := tr.Send(tb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrunkBatchEncode measures the TCP-path serialization of a
+// 16-entry batch into a reused scratch buffer: zero allocations.
+func BenchmarkTrunkBatchEncode(b *testing.B) {
+	var tb wire.TrunkBatch
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for j := 0; j < 16; j++ {
+		tb.Entries = append(tb.Entries, wire.TrunkEntry{
+			Due: 100, To: 1,
+			Pkt: wire.Packet{Src: 2, Dst: 1, Channel: 1, Seq: uint32(j), Payload: payload},
+		})
+	}
+	scratch := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = wire.AppendFrame(scratch[:0], &tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSyncedNowSkew pins the skew report: one consistent snapshot of
+// local reading, corrected reading, offset and resync count.
+func TestSyncedNowSkew(t *testing.T) {
+	local := NewManual(Time(1000))
+	c := NewSynced(local)
+
+	r := c.NowSkew()
+	if r.Local != 1000 || r.Now != 1000 || r.Offset != 0 || r.Skew() != 0 {
+		t.Fatalf("fresh clock: %+v", r)
+	}
+
+	c.SetOffset(250 * time.Nanosecond)
+	r = c.NowSkew()
+	if r.Local != 1000 {
+		t.Fatalf("Local = %d, want 1000", r.Local)
+	}
+	if r.Now != 1250 {
+		t.Fatalf("Now = %d, want 1250", r.Now)
+	}
+	if r.Offset != 250*time.Nanosecond || r.Skew() != 250*time.Nanosecond {
+		t.Fatalf("Offset/Skew = %v/%v, want 250ns", r.Offset, r.Skew())
+	}
+
+	// A resync through a zero-delay exchanger against a server clock
+	// 500ns ahead must surface in both Offset and Resyncs.
+	server := NewManual(Time(1500))
+	ex := ExchangerFunc(func(tc1 Time) (Time, Time, error) {
+		now := server.Now()
+		return now, now, nil
+	})
+	if _, err := c.Resync(ex, 1); err != nil {
+		t.Fatal(err)
+	}
+	r = c.NowSkew()
+	if r.Offset != 500*time.Nanosecond {
+		t.Fatalf("post-resync Offset = %v, want 500ns", r.Offset)
+	}
+	if r.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1", r.Resyncs)
+	}
+}
+
+// TestMonotonicFloorAcrossResyncLeaps pins the interaction chaos relies
+// on only indirectly: when a resync pulls a Synced clock backwards (a
+// better estimate replacing one that ran too far ahead), a Monotonic
+// wrapped around it must hold its floor — readings stall, they never
+// regress — and resume tracking once the corrected clock passes the
+// floor again.
+func TestMonotonicFloorAcrossResyncLeaps(t *testing.T) {
+	local := NewManual(Time(1_000_000))
+	synced := NewSynced(local)
+	mono := NewMonotonic(synced)
+
+	// The first estimate runs 10µs ahead; the client stamps with it.
+	synced.SetOffset(10 * time.Microsecond)
+	high := mono.Now()
+	if high != 1_010_000 {
+		t.Fatalf("high water = %d, want 1010000", high)
+	}
+
+	// A resync leap: the refined offset is much smaller, so the synced
+	// clock regresses below a stamp already handed out.
+	synced.SetOffset(1 * time.Microsecond)
+	if now := synced.Now(); now >= high {
+		t.Fatalf("test setup broken: synced clock did not regress (%d >= %d)", now, high)
+	}
+	for i := 0; i < 3; i++ {
+		if got := mono.Now(); got != high {
+			t.Fatalf("monotonic regressed after leap: %d, floor %d", got, high)
+		}
+	}
+
+	// While stalled at the floor, underlying progress short of the
+	// floor must stay invisible...
+	local.Advance(5 * time.Microsecond) // synced: 1_006_000 < floor
+	if got := mono.Now(); got != high {
+		t.Fatalf("monotonic moved below floor: %d", got)
+	}
+
+	// ...and once the corrected clock passes the floor, readings track
+	// it again.
+	local.Advance(5 * time.Microsecond) // synced: 1_011_000 > floor
+	got := mono.Now()
+	if want := Time(1_011_000); got != want {
+		t.Fatalf("monotonic did not resume tracking: %d, want %d", got, want)
+	}
+
+	// A second leap in the other direction (offset grows) jumps forward;
+	// the floor follows.
+	synced.SetOffset(20 * time.Microsecond)
+	jumped := mono.Now()
+	if want := Time(1_030_000); jumped != want {
+		t.Fatalf("forward leap: %d, want %d", jumped, want)
+	}
+	synced.SetOffset(0)
+	if got := mono.Now(); got != jumped {
+		t.Fatalf("floor lost after forward leap: %d, want %d", got, jumped)
+	}
+}

@@ -141,6 +141,35 @@ func (c *Synced) Resync(ex Exchanger, rounds int) (Sample, error) {
 // Resyncs returns how many Resync calls have succeeded.
 func (c *Synced) Resyncs() uint64 { return c.resyncs.Load() }
 
+// SkewReport is a point-in-time reading of a Synced clock against its
+// local source, for operators debugging cross-peer clock disagreement
+// (a federated cluster schedules deliveries on emulation stamps from
+// every peer, so skew between peers shows up as delivery jitter).
+type SkewReport struct {
+	Local   Time          // raw local clock reading
+	Now     Time          // corrected emulation reading (Local + Offset)
+	Offset  time.Duration // installed correction at the time of reading
+	Resyncs uint64        // successful resynchronizations so far
+}
+
+// Skew returns how far the corrected clock stands from the local one —
+// by construction the installed offset.
+func (r SkewReport) Skew() time.Duration { return time.Duration(r.Now - r.Local) }
+
+// NowSkew reads the clock and reports where it stands relative to its
+// local source. The local reading, offset and corrected reading form
+// one consistent snapshot (the offset is loaded once).
+func (c *Synced) NowSkew() SkewReport {
+	local := c.local.Now()
+	off := time.Duration(c.offset.Load())
+	return SkewReport{
+		Local:   local,
+		Now:     local.Add(off),
+		Offset:  off,
+		Resyncs: c.resyncs.Load(),
+	}
+}
+
 // Instrument registers the clock's sync metrics on reg: the installed
 // offset and the successful-resync count (§4.1 leaves the resync
 // frequency to the user; these expose whether the chosen cadence holds

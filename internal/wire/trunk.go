@@ -1,0 +1,308 @@
+// Trunk frames: the server-to-server protocol of a federated cluster.
+//
+// When N poemd peers jointly own one scene, cross-server deliveries and
+// replicated scene mutations ride persistent trunk connections between
+// peers. Trunks speak the same length-prefixed framing as clients (one
+// listener serves both; the first frame decides which protocol the
+// connection is), with four extra message types:
+//
+//	TrunkHello   peer handshake: protocol version, peer index, cluster id
+//	TrunkBatch   a batch of already-scheduled deliveries for remote nodes
+//	TrunkScene   one replicated scene mutation from the coordinator
+//	TrunkStatus  periodic peer status: health state, applied scene seq
+//
+// TrunkBatch is the hot path. It carries deliveries after ingest has
+// resolved neighbors and link models at the sending peer, so the
+// receiving peer only schedules and fires them — the batched shape
+// mirrors the coalesced per-shard pushes inside one server, and the
+// pooled read path aliases every payload out of a single frame buffer.
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/radio"
+	"repro/internal/vclock"
+)
+
+// Trunk frame types, continuing the client protocol's numbering.
+const (
+	TypeTrunkHello  Type = iota + 8 // peer → peer: trunk handshake
+	TypeTrunkBatch                  // peer → peer: batched remote deliveries
+	TypeTrunkScene                  // coordinator → peer: scene mutation
+	TypeTrunkStatus                 // peer → peer: health + applied seq
+)
+
+// MaxTrunkEntries bounds the deliveries one TrunkBatch may carry; the
+// decoder rejects larger counts as corrupt before allocating.
+const MaxTrunkEntries = 4096
+
+// TrunkHello opens a trunk: the dialing peer identifies itself and the
+// cluster it believes it belongs to. A receiver that disagrees about
+// Cluster (or Ver) answers Bye and closes.
+type TrunkHello struct {
+	Ver     uint16
+	From    uint32 // dialing peer's index in the cluster peer list
+	Cluster string // cluster identity; must match on both ends
+}
+
+// Type implements Msg.
+func (TrunkHello) Type() Type { return TypeTrunkHello }
+
+func (m TrunkHello) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.Ver)
+	b = binary.BigEndian.AppendUint32(b, m.From)
+	return append(b, m.Cluster...)
+}
+
+func (m *TrunkHello) readBody(b []byte) error {
+	if len(b) < 6 {
+		return ErrShortBody
+	}
+	m.Ver = binary.BigEndian.Uint16(b)
+	m.From = binary.BigEndian.Uint32(b[2:])
+	m.Cluster = string(b[6:])
+	return nil
+}
+
+// TrunkEntry is one scheduled delivery in flight between peers: the
+// receiving peer pushes it into the schedule of the shard owning To.
+// Due and Stamp are emulation-clock times, meaningful on both ends
+// because all peers sync to the same emulation timebase.
+type TrunkEntry struct {
+	Due vclock.Time  // when the delivery fires
+	To  radio.NodeID // destination session (owned by the receiving peer)
+	Pkt Packet
+}
+
+// trunkEntryFixed is the encoded size of an entry's fixed fields.
+const trunkEntryFixed = 8 + 4 + 4 + 4 + 2 + 2 + 4 + 8 + 4
+
+// TrunkBatch carries a batch of scheduled deliveries to one peer. Like
+// Data it has a pooled form: on the wire-read side every entry's
+// payload aliases the single frame buffer, with one Buf reference per
+// entry; consumers transfer entries into their schedule (clearing the
+// slice) and retire the wrapper with ReleaseTrunkBatch, which frees the
+// references of any entries still present.
+type TrunkBatch struct {
+	Entries []TrunkEntry
+
+	pooled bool
+}
+
+// Type implements Msg.
+func (TrunkBatch) Type() Type { return TypeTrunkBatch }
+
+func (m TrunkBatch) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		b = binary.BigEndian.AppendUint64(b, uint64(e.Due))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.To))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Pkt.Src))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.Pkt.Dst))
+		b = binary.BigEndian.AppendUint16(b, uint16(e.Pkt.Channel))
+		b = binary.BigEndian.AppendUint16(b, e.Pkt.Flow)
+		b = binary.BigEndian.AppendUint32(b, e.Pkt.Seq)
+		b = binary.BigEndian.AppendUint64(b, uint64(e.Pkt.Stamp))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(e.Pkt.Payload)))
+		b = append(b, e.Pkt.Payload...)
+	}
+	return b
+}
+
+// parseBody decodes entries with payloads still aliasing b; the caller
+// decides whether to copy them.
+func (m *TrunkBatch) parseBody(b []byte) error {
+	if len(b) < 2 {
+		return ErrShortBody
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > MaxTrunkEntries {
+		return ErrBadPayloadLen
+	}
+	b = b[2:]
+	if cap(m.Entries) < n {
+		m.Entries = make([]TrunkEntry, n)
+	} else {
+		m.Entries = m.Entries[:n]
+	}
+	for i := 0; i < n; i++ {
+		if len(b) < trunkEntryFixed {
+			m.Entries = m.Entries[:0]
+			return ErrShortBody
+		}
+		e := &m.Entries[i]
+		e.Due = vclock.Time(binary.BigEndian.Uint64(b))
+		e.To = radio.NodeID(binary.BigEndian.Uint32(b[8:]))
+		e.Pkt.Src = radio.NodeID(binary.BigEndian.Uint32(b[12:]))
+		e.Pkt.Dst = radio.NodeID(binary.BigEndian.Uint32(b[16:]))
+		e.Pkt.Channel = radio.ChannelID(binary.BigEndian.Uint16(b[20:]))
+		e.Pkt.Flow = binary.BigEndian.Uint16(b[22:])
+		e.Pkt.Seq = binary.BigEndian.Uint32(b[24:])
+		e.Pkt.Stamp = vclock.Time(binary.BigEndian.Uint64(b[28:]))
+		plen := binary.BigEndian.Uint32(b[36:])
+		if plen > MaxPayload {
+			m.Entries = m.Entries[:0]
+			return ErrBadPayloadLen
+		}
+		if len(b) < trunkEntryFixed+int(plen) {
+			m.Entries = m.Entries[:0]
+			return ErrShortBody
+		}
+		e.Pkt.Payload = b[trunkEntryFixed : trunkEntryFixed+plen]
+		e.Pkt.Buf = nil
+		b = b[trunkEntryFixed+int(plen):]
+	}
+	if len(b) != 0 {
+		m.Entries = m.Entries[:0]
+		return ErrShortBody
+	}
+	return nil
+}
+
+func (m *TrunkBatch) readBody(b []byte) error {
+	if err := m.parseBody(b); err != nil {
+		return err
+	}
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		e.Pkt.Payload = append([]byte(nil), e.Pkt.Payload...)
+	}
+	return nil
+}
+
+// TrunkScene replicates one scene mutation from the coordinator. Seq is
+// the coordinator's replication sequence number (dense, starting at 1);
+// At is the coordinator's emulation clock when the mutation happened,
+// which the applying peer compares against its own clock to measure
+// replication staleness. Kind carries scene.EventKind values; the
+// generic Arg encodes PausedChanged's boolean (0/1).
+type TrunkScene struct {
+	Seq    uint64
+	At     vclock.Time
+	Kind   uint8
+	Node   radio.NodeID
+	X, Y   float64
+	Arg    int64
+	Radios []radio.Radio
+}
+
+// Type implements Msg.
+func (TrunkScene) Type() Type { return TypeTrunkScene }
+
+func (m TrunkScene) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.At))
+	b = append(b, m.Kind)
+	b = binary.BigEndian.AppendUint32(b, uint32(m.Node))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.X))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(m.Y))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.Arg))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Radios)))
+	for _, r := range m.Radios {
+		b = binary.BigEndian.AppendUint16(b, uint16(r.Channel))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.Range))
+	}
+	return b
+}
+
+// trunkSceneFixed is the encoded size of TrunkScene's fixed fields.
+const trunkSceneFixed = 8 + 8 + 1 + 4 + 8 + 8 + 8 + 2
+
+func (m *TrunkScene) readBody(b []byte) error {
+	if len(b) < trunkSceneFixed {
+		return ErrShortBody
+	}
+	m.Seq = binary.BigEndian.Uint64(b)
+	m.At = vclock.Time(binary.BigEndian.Uint64(b[8:]))
+	m.Kind = b[16]
+	m.Node = radio.NodeID(binary.BigEndian.Uint32(b[17:]))
+	m.X = math.Float64frombits(binary.BigEndian.Uint64(b[21:]))
+	m.Y = math.Float64frombits(binary.BigEndian.Uint64(b[29:]))
+	m.Arg = int64(binary.BigEndian.Uint64(b[37:]))
+	n := int(binary.BigEndian.Uint16(b[45:]))
+	if len(b) != trunkSceneFixed+n*10 {
+		return ErrShortBody
+	}
+	m.Radios = make([]radio.Radio, n)
+	for i := 0; i < n; i++ {
+		off := trunkSceneFixed + i*10
+		m.Radios[i].Channel = radio.ChannelID(binary.BigEndian.Uint16(b[off:]))
+		m.Radios[i].Range = math.Float64frombits(binary.BigEndian.Uint64(b[off+2:]))
+	}
+	return nil
+}
+
+// TrunkStatus is the periodic peer heartbeat: health state (a
+// fidelity.State value), the last replicated scene seq applied, and the
+// sender's emulation clock at send — letting the receiver gauge both
+// replication lag (in mutations) and clock agreement.
+type TrunkStatus struct {
+	From       uint32
+	Health     uint8
+	AppliedSeq uint64
+	Now        vclock.Time
+}
+
+// Type implements Msg.
+func (TrunkStatus) Type() Type { return TypeTrunkStatus }
+
+func (m TrunkStatus) appendBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.From)
+	b = append(b, m.Health)
+	b = binary.BigEndian.AppendUint64(b, m.AppliedSeq)
+	return binary.BigEndian.AppendUint64(b, uint64(m.Now))
+}
+
+func (m *TrunkStatus) readBody(b []byte) error {
+	if len(b) != 21 {
+		return ErrShortBody
+	}
+	m.From = binary.BigEndian.Uint32(b)
+	m.Health = b[4]
+	m.AppliedSeq = binary.BigEndian.Uint64(b[5:])
+	m.Now = vclock.Time(binary.BigEndian.Uint64(b[13:]))
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Pooled TrunkBatch wrappers
+//
+// The same ownership contract as pooled *Data, generalized to a batch:
+// every entry present in Entries owns one reference of its Pkt.Buf.
+// transport.Conn.Send consumes the whole wrapper (TCP releases after
+// serializing, the in-process pipe transfers it); a receiver moves
+// entries into its schedule — transferring their references — truncates
+// Entries to what it did not consume, and calls ReleaseTrunkBatch.
+
+// trunkBatchPool recycles TrunkBatch wrappers, Entries backing array
+// included, so steady-state trunk sends allocate nothing.
+var trunkBatchPool = sync.Pool{New: func() interface{} { return new(TrunkBatch) }}
+
+// AcquireTrunkBatch returns an empty pooled TrunkBatch. Sending it on a
+// transport.Conn consumes it; otherwise balance with ReleaseTrunkBatch.
+func AcquireTrunkBatch() *TrunkBatch {
+	tb := trunkBatchPool.Get().(*TrunkBatch)
+	tb.Entries = tb.Entries[:0]
+	tb.pooled = true
+	return tb
+}
+
+// ReleaseTrunkBatch retires a pooled TrunkBatch: one Buf reference is
+// freed per entry still in Entries, and the wrapper returns to the
+// pool. No-op for nil or unpooled wrappers.
+func ReleaseTrunkBatch(m *TrunkBatch) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false
+	for i := range m.Entries {
+		m.Entries[i].Pkt.Buf.Free()
+		m.Entries[i].Pkt = Packet{}
+	}
+	m.Entries = m.Entries[:0]
+	trunkBatchPool.Put(m)
+}

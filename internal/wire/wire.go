@@ -70,6 +70,14 @@ func (t Type) String() string {
 		return "Event"
 	case TypeBye:
 		return "Bye"
+	case TypeTrunkHello:
+		return "TrunkHello"
+	case TypeTrunkBatch:
+		return "TrunkBatch"
+	case TypeTrunkScene:
+		return "TrunkScene"
+	case TypeTrunkStatus:
+		return "TrunkStatus"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -426,6 +434,18 @@ func decodeBody(t Type, body []byte) (Msg, error) {
 	case TypeBye:
 		v := &Bye{}
 		perr, m = v.readBody(body), v
+	case TypeTrunkHello:
+		v := &TrunkHello{}
+		perr, m = v.readBody(body), v
+	case TypeTrunkBatch:
+		v := &TrunkBatch{}
+		perr, m = v.readBody(body), v
+	case TypeTrunkScene:
+		v := &TrunkScene{}
+		perr, m = v.readBody(body), v
+	case TypeTrunkStatus:
+		v := &TrunkStatus{}
+		perr, m = v.readBody(body), v
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
@@ -480,11 +500,15 @@ func ReleaseData(m *Data) {
 	dataPool.Put(m)
 }
 
-// ReleaseMsg is ReleaseData behind a type switch, for call sites that
-// hold a Msg: pooled Data is retired, everything else is untouched.
+// ReleaseMsg retires pooled messages behind a type switch, for call
+// sites that hold a Msg: pooled Data and TrunkBatch wrappers are
+// retired, everything else is untouched.
 func ReleaseMsg(m Msg) {
-	if d, ok := m.(*Data); ok {
-		ReleaseData(d)
+	switch v := m.(type) {
+	case *Data:
+		ReleaseData(v)
+	case *TrunkBatch:
+		ReleaseTrunkBatch(v)
 	}
 }
 
@@ -563,6 +587,30 @@ func ReadMsgPooled(r io.Reader, a Alloc) (Msg, error) {
 		d.Pkt.Buf = buf
 		d.pooled = true
 		return d, nil
+	}
+	if Type(frame[0]) == TypeTrunkBatch {
+		tb := trunkBatchPool.Get().(*TrunkBatch)
+		if err := tb.parseBody(frame[1:]); err != nil {
+			trunkBatchPool.Put(tb)
+			buf.Free()
+			return nil, err
+		}
+		// Every entry aliases the one frame buffer and owns one of its
+		// references: the Alloc supplied the first, the rest are added
+		// here so entries can retire independently as the receiver
+		// schedules (or abandons) them.
+		if n := len(tb.Entries); n == 0 {
+			buf.Free()
+		} else {
+			if n > 1 {
+				buf.Retain(n - 1)
+			}
+			for i := range tb.Entries {
+				tb.Entries[i].Pkt.Buf = buf
+			}
+		}
+		tb.pooled = true
+		return tb, nil
 	}
 	m, err := decodeBody(Type(frame[0]), frame[1:])
 	buf.Free() // non-Data bodies copy what they keep

@@ -96,3 +96,30 @@ echo "$GW" | awk '
 ' || { echo "gateway alloc gate: FAILED (ingress must be allocation-free)"; exit 1; }
 
 echo "gateway alloc gate: OK (ingress path allocation-free)"
+
+# The federation trunk carries every cross-server delivery; its batch
+# send (pooled TrunkBatch, one writev-shaped frame) gets the same budget
+# as the fan-out path — up to 2 allocs/op for pool misses — and the pure
+# encode must allocate nothing. More iterations than the other gates:
+# the batch pool and the pipe queue grow to steady state over the first
+# few hundred batches, and those one-time allocations must amortize out
+# of the per-op figure.
+TRUNK=$(go test -run='^$' -bench='TrunkBatchSend|TrunkBatchEncode' -benchmem -benchtime=2000x ./internal/transport)
+echo "$TRUNK"
+
+echo "$TRUNK" | awk -v budget="$BUDGET" '
+	/allocs\/op/ {
+		seen = 1
+		b = budget
+		if ($1 ~ /Encode/) b = 0
+		for (i = 2; i < NF; i++) {
+			if ($(i+1) == "allocs/op" && $i + 0 > b) {
+				printf "FAIL: %s measured %s allocs/op, budget %d\n", $1, $i, b
+				bad = 1
+			}
+		}
+	}
+	END { exit bad || !seen }
+' || { echo "trunk alloc gate: FAILED (batch send within ${BUDGET} allocs/op, encode at 0)"; exit 1; }
+
+echo "trunk alloc gate: OK (batch send within ${BUDGET} allocs/op, encode allocation-free)"

@@ -21,6 +21,7 @@ run() {
 }
 
 run ./internal/wire FuzzReadMsg
+run ./internal/wire FuzzTrunkFrame
 run ./internal/script FuzzParse
 run ./internal/record FuzzLoad
 run ./internal/routing FuzzDecodeFrame
